@@ -1,0 +1,75 @@
+// E6 — why the delayed-adaptive assumption is necessary (§2, [1]).
+//
+// Runs the Algorithm-1 shared coin against three adversaries:
+//   random            — benign asynchrony                   (legal)
+//   delay-senders     — hostile but content-oblivious       (legal)
+//   content-aware     — reads pending messages' VRF values, (ILLEGAL)
+//                       starves/silences wrong-LSB holders
+// and reports P[output = 0] when the illegal adversary wants 0 (and 1).
+// The legal adversaries cannot move the coin off ~50/50; the illegal one
+// drives it toward its target — exactly the attack the model forbids.
+#include <iostream>
+
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/coin_runner.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 36));
+  const int runs = static_cast<int>(args.get_int("runs", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
+
+  std::cout << "== E6: delayed-adaptive necessity ablation, shared coin, n="
+            << n << ", " << runs << " flips per row ==\n\n";
+
+  Table t({"adversary", "model", "agree rate", "P[out=0]", "95% CI"});
+
+  auto run_rows = [&](bool content_aware, int bias_toward,
+                      std::size_t delay, const std::string& label) {
+    std::size_t agreed = 0, zeros = 0, done = 0;
+    for (int run = 0; run < runs; ++run) {
+      core::CoinOptions o;
+      o.kind = core::CoinKind::kShared;
+      o.n = n;
+      o.seed = seed * 7717 + run;
+      o.round = static_cast<std::uint64_t>(run);
+      o.content_aware_bias = content_aware;
+      o.bias_toward = bias_toward;
+      o.delay_senders = delay;
+      if (content_aware) {
+        o.bias_budget = 64;        // clamped to f inside the runner
+        o.fairness_bound = 50000;  // wide-but-finite async delays
+      }
+      core::CoinReport r = core::run_coin_trial(o);
+      if (!r.all_returned) continue;
+      ++done;
+      if (r.agreed_bit) {
+        ++agreed;
+        zeros += (*r.agreed_bit == 0);
+      }
+    }
+    double agree_rate = done ? static_cast<double>(agreed) / done : 0;
+    double p0 = agreed ? static_cast<double>(zeros) / agreed : 0;
+    Interval ci = wilson_interval(zeros, agreed);
+    t.add_row({label, content_aware ? "ILLEGAL" : "legal",
+               Table::num(agree_rate, 3), Table::num(p0, 3),
+               "[" + Table::num(ci.lo, 3) + "," + Table::num(ci.hi, 3) + "]"});
+  };
+
+  run_rows(false, 0, 0, "random");
+  run_rows(false, 0, n / 4, "delay-senders (n/4 victims)");
+  run_rows(true, 0, 0, "content-aware, wants 0");
+  run_rows(true, 1, 0, "content-aware, wants 1");
+
+  t.print(std::cout);
+  std::cout << "\npaper-shape checks: legal adversaries leave P[out=0] near "
+               "0.5 (the coin is fair);\nthe content-aware adversary pulls "
+               "it sharply toward its target bit in both directions —\n"
+               "sub-quadratic protocols NEED the no-after-the-fact/delayed-"
+               "adaptive assumption ([1], §2).\n";
+  return 0;
+}

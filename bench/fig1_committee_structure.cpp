@@ -1,0 +1,81 @@
+// F1 — regenerates Figure 1: the committee structure of Algorithm 3.
+//
+// The paper's figure shows one approver instance flowing through four
+// sampled committees: init -> echo(0) / echo(1) -> ok. We run the
+// approver with a 50/50 input split at several n and print, per phase:
+// the sampled committee size (vs the expected λ = 8 ln n), how many
+// members actually broadcast, and the measured message/word cost —
+// including the O(λ) ok-proof words that dominate the complexity.
+#include <iostream>
+
+#include "ba/approver.h"
+#include "common/args.h"
+#include "common/table.h"
+#include "core/env.h"
+#include "sim/simulation.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
+
+  std::cout << "== F1: committee structure of one approver instance "
+               "(Algorithm 3 / Figure 1) ==\n\n";
+
+  Table t({"n", "lambda", "W", "B", "|init|", "|echo(0)|", "|echo(1)|",
+           "|ok|", "init words", "echo words", "ok words", "returned"});
+
+  for (std::size_t n : {64, 128, 256, 512}) {
+    core::Env env = core::Env::make_relaxed(n, seed + n);
+
+    sim::SimConfig scfg;
+    scfg.n = n;
+    scfg.seed = seed * 31 + n;
+    sim::Simulation sim(scfg);
+    for (sim::ProcessId i = 0; i < n; ++i) {
+      ba::Approver::Config cfg;
+      cfg.tag = "apv";
+      cfg.params = env.params;
+      cfg.registry = env.registry;
+      cfg.sampler = env.sampler;
+      cfg.signer = env.signer;
+      ba::Value input = i < n / 2 ? ba::kOne : ba::kZero;
+      sim.add_process(std::make_unique<ba::ApproverHost>(cfg, input));
+    }
+    sim.start();
+    sim.run();
+
+    // Committee sizes are a pure function of the sampler (Fig. 1's boxes).
+    std::size_t init_c = 0, echo0_c = 0, echo1_c = 0, ok_c = 0, returned = 0;
+    for (sim::ProcessId i = 0; i < n; ++i) {
+      init_c += env.sampler->sample(i, "apv/init").sampled;
+      echo0_c += env.sampler->sample(i, "apv/echo/0").sampled;
+      echo1_c += env.sampler->sample(i, "apv/echo/1").sampled;
+      ok_c += env.sampler->sample(i, "apv/ok").sampled;
+      auto& host = dynamic_cast<ba::ApproverHost&>(sim.process(i));
+      returned += host.approver().done();
+    }
+
+    const auto& buckets = sim.metrics().words_by_tag();
+    auto words_of = [&](const std::string& k) -> unsigned long long {
+      auto it = buckets.find(k);
+      return it == buckets.end() ? 0 : it->second;
+    };
+
+    t.add_row({std::to_string(n), Table::num(env.params.lambda, 1),
+               std::to_string(env.params.W), std::to_string(env.params.B),
+               std::to_string(init_c), std::to_string(echo0_c),
+               std::to_string(echo1_c), std::to_string(ok_c),
+               Table::count(words_of("init")), Table::count(words_of("echo")),
+               Table::count(words_of("ok")),
+               std::to_string(returned) + "/" + std::to_string(n)});
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper-shape checks: every committee size concentrates "
+               "near lambda = 8 ln n (S1/S2);\nok words dominate (each ok "
+               "message carries W signed echoes -> the n log^2 n term);\n"
+               "all processes return whp (Lemma 6.4).\n";
+  return 0;
+}

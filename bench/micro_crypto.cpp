@@ -1,0 +1,158 @@
+// E7 — crypto substrate microbenchmarks (google-benchmark).
+//
+// Quantifies the per-word costs behind §2's accounting and the DESIGN.md
+// substitution table: SHA-256 / HMAC throughput, bignum modular
+// exponentiation at several group sizes, the real DDH-VRF (eval+verify)
+// vs the simulation-grade FastVrf, committee sampling, and Shamir
+// share/reconstruct for the dealer-coin baseline.
+#include <benchmark/benchmark.h>
+
+#include "committee/sampler.h"
+#include "common/rng.h"
+#include "crypto/ddh_vrf.h"
+#include "crypto/fast_vrf.h"
+#include "crypto/hmac.h"
+#include "crypto/prime_group.h"
+#include "crypto/shamir.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+
+using namespace coincidence;
+using namespace coincidence::crypto;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(2);
+  Bytes key = rng.next_bytes(32);
+  Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_BignumModExp(benchmark::State& state) {
+  auto bits = static_cast<std::size_t>(state.range(0));
+  PrimeGroup group = bits <= 256 ? PrimeGroup::generate(bits, 7)
+                                 : PrimeGroup::rfc3526_1536();
+  Rng rng(3);
+  Bignum base = group.hash_to_group(rng.next_bytes(32));
+  Bignum exp = Bignum::from_bytes_be(rng.next_bytes(group.byte_len())) %
+               group.q();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.exp(base, exp));
+  }
+}
+BENCHMARK(BM_BignumModExp)->Arg(128)->Arg(256)->Arg(1536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DdhVrfEval(benchmark::State& state) {
+  DdhVrf vrf(PrimeGroup::generate(static_cast<std::size_t>(state.range(0)), 9));
+  Rng rng(4);
+  VrfKeyPair kp = vrf.keygen(rng);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf.eval(kp.sk, bytes_of_u64(round++)));
+  }
+}
+BENCHMARK(BM_DdhVrfEval)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_DdhVrfVerify(benchmark::State& state) {
+  DdhVrf vrf(PrimeGroup::generate(static_cast<std::size_t>(state.range(0)), 9));
+  Rng rng(5);
+  VrfKeyPair kp = vrf.keygen(rng);
+  VrfOutput out = vrf.eval(kp.sk, bytes_of("round"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf.verify(kp.pk, bytes_of("round"), out));
+  }
+}
+BENCHMARK(BM_DdhVrfVerify)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_FastVrfEval(benchmark::State& state) {
+  auto registry = KeyRegistry::create_for(8, 11);
+  FastVrf vrf(registry);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf.eval(registry->sk_of(0), bytes_of_u64(round++)));
+  }
+}
+BENCHMARK(BM_FastVrfEval);
+
+void BM_FastVrfVerify(benchmark::State& state) {
+  auto registry = KeyRegistry::create_for(8, 11);
+  FastVrf vrf(registry);
+  VrfOutput out = vrf.eval(registry->sk_of(0), bytes_of("round"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vrf.verify(registry->pk_of(0), bytes_of("round"), out));
+  }
+}
+BENCHMARK(BM_FastVrfVerify);
+
+void BM_CommitteeSample(benchmark::State& state) {
+  auto registry = KeyRegistry::create_for(64, 13);
+  auto vrf = std::make_shared<FastVrf>(registry);
+  committee::Sampler sampler(vrf, registry, 0.3);
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.sample(0, "seed-" + std::to_string(c++)));
+  }
+}
+BENCHMARK(BM_CommitteeSample);
+
+void BM_CommitteeVal(benchmark::State& state) {
+  auto registry = KeyRegistry::create_for(64, 13);
+  auto vrf = std::make_shared<FastVrf>(registry);
+  committee::Sampler sampler(vrf, registry, 0.3);
+  auto election = sampler.sample(0, "seed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.committee_val("seed", 0, election.proof));
+  }
+}
+BENCHMARK(BM_CommitteeVal);
+
+void BM_SignVerify(benchmark::State& state) {
+  auto registry = KeyRegistry::create_for(8, 15);
+  Signer signer(registry);
+  Bytes sig = signer.sign(0, bytes_of("echo,1"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.verify(0, bytes_of("echo,1"), sig));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_ShamirShare(benchmark::State& state) {
+  Rng rng(17);
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_share(12345, n, n / 3, rng));
+  }
+}
+BENCHMARK(BM_ShamirShare)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  Rng rng(19);
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto shares = shamir_share(12345, n, n / 3, rng);
+  shares.resize(n / 3 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_reconstruct(shares));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

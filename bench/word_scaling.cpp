@@ -1,0 +1,162 @@
+// E4 — the headline claim: Õ(n) vs O(n²) word complexity.
+//
+// Measures words-to-decision for our BA WHP and for MMR + Algorithm-1
+// coin (the O(n²) operating point of §4) across n, fits the log-log
+// growth exponents, and — because the paper's Õ(n) hides an 8²·ln²n
+// committee constant that dwarfs n² at simulable sizes — *projects* the
+// crossover point from the fitted models:
+//   ours  ≈ a · n ln²n      (measured a)
+//   mmr   ≈ b · n²          (measured b)
+//   crossover at a·ln²n = b·n.
+// Per-coin-instance words (no approver, no ok proofs) cross much earlier
+// and are printed too: the WHP coin beats the full coin within reach.
+#include <cmath>
+#include <iostream>
+
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/coin_runner.h"
+#include "core/runner.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+
+  std::cout << "== E4: word-complexity scaling, ours vs O(n^2) (trials="
+            << trials << ") ==\n\n";
+
+  // --- part 1: the coins alone (Algorithm 1 vs Algorithm 2) -------------
+  Table tc({"n", "shared-coin words", "whp-coin words", "ratio"});
+  std::vector<double> cxs, shared_ys, whp_ys;
+  for (std::size_t n : {48, 96, 160, 256, 384}) {
+    double shared_words = 0, whp_words = 0;
+    int shared_c = 0, whp_c = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::CoinOptions o;
+      o.n = n;
+      o.seed = seed + 31 * trial + n;
+      o.round = static_cast<std::uint64_t>(trial);
+      o.kind = core::CoinKind::kShared;
+      core::CoinReport rs = core::run_coin_trial(o);
+      if (rs.all_returned) {
+        shared_words += static_cast<double>(rs.correct_words);
+        ++shared_c;
+      }
+      o.kind = core::CoinKind::kWhp;
+      core::CoinReport rw = core::run_coin_trial(o);
+      if (rw.all_returned) {
+        whp_words += static_cast<double>(rw.correct_words);
+        ++whp_c;
+      }
+    }
+    if (shared_c == 0 || whp_c == 0) continue;
+    shared_words /= shared_c;
+    whp_words /= whp_c;
+    cxs.push_back(static_cast<double>(n));
+    shared_ys.push_back(shared_words);
+    whp_ys.push_back(whp_words);
+    tc.add_row({std::to_string(n),
+                Table::count(static_cast<unsigned long long>(shared_words)),
+                Table::count(static_cast<unsigned long long>(whp_words)),
+                Table::num(shared_words / whp_words, 2)});
+  }
+  tc.print(std::cout);
+  std::cout << "coin word-growth exponents: shared="
+            << Table::num(loglog_slope(cxs, shared_ys), 2)
+            << " (theory 2), whp=" << Table::num(loglog_slope(cxs, whp_ys), 2)
+            << " (theory ~1 + log factor)\n\n";
+
+  // --- part 2: full BA, ours vs MMR+Algorithm-1 -------------------------
+  Table tb({"n", "ba-whp words", "mmr-vrf words", "ba-whp/n*ln^2(n)",
+            "mmr/n^2"});
+  std::vector<double> xs, ours_ys, mmr_ys;
+  std::vector<std::size_t> ba_ns = {48, 64, 96, 128, 192, 256};
+  if (args.get_bool("big", false)) ba_ns.push_back(512);
+  for (std::size_t n : ba_ns) {
+    double ours = 0, mmr = 0;
+    int ours_c = 0, mmr_c = 0;
+    // The whp-failure tail bites harder at one-shot large-n runs; retry a
+    // few extra seeds there so the row reflects successful decisions.
+    int attempts = n >= 512 ? trials + 4 : trials;
+    int wanted = trials;
+    for (int trial = 0; trial < attempts && (ours_c < wanted || mmr_c < wanted);
+         ++trial) {
+      core::RunOptions o;
+      o.n = n;
+      o.seed = seed + 7 * trial + n;
+      o.inputs.assign(n, ba::kZero);
+      for (std::size_t i = 0; i < n / 2; ++i) o.inputs[i] = ba::kOne;
+
+      o.protocol = core::Protocol::kBaWhp;
+      if (ours_c < wanted) {
+        core::RunReport r1 = core::run_agreement(o);
+        if (r1.all_correct_decided) {
+          ours += static_cast<double>(r1.correct_words);
+          ++ours_c;
+        }
+      }
+      if (mmr_c < wanted) {
+        o.protocol = core::Protocol::kMmrSharedCoin;
+        core::RunReport r2 = core::run_agreement(o);
+        if (r2.all_correct_decided) {
+          mmr += static_cast<double>(r2.correct_words);
+          ++mmr_c;
+        }
+      }
+    }
+    if (ours_c == 0 || mmr_c == 0) continue;
+    ours /= ours_c;
+    mmr /= mmr_c;
+    xs.push_back(static_cast<double>(n));
+    ours_ys.push_back(ours);
+    mmr_ys.push_back(mmr);
+    double ln2 = std::log(static_cast<double>(n)) * std::log(static_cast<double>(n));
+    double a = ours / (static_cast<double>(n) * ln2);
+    double b = mmr / (static_cast<double>(n) * static_cast<double>(n));
+    tb.add_row({std::to_string(n),
+                Table::count(static_cast<unsigned long long>(ours)),
+                Table::count(static_cast<unsigned long long>(mmr)),
+                Table::num(a, 1), Table::num(b, 1)});
+  }
+  tb.print(std::cout);
+
+  if (xs.size() >= 2) {
+    std::cout << "\nfull-BA word-growth exponents: ba-whp="
+              << Table::num(loglog_slope(xs, ours_ys), 2)
+              << " (theory ~1+), mmr=" << Table::num(loglog_slope(xs, mmr_ys), 2)
+              << " (theory 2)\n";
+    // Fit the model constants by least squares through the origin over
+    // ALL measured points (robust to per-row round-count noise):
+    //   ours = a * n ln^2 n,  mmr = b * n^2.
+    double a_num = 0, a_den = 0, b_num = 0, b_den = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      double ln2 = std::log(xs[i]) * std::log(xs[i]);
+      double xa = xs[i] * ln2;
+      double xb = xs[i] * xs[i];
+      a_num += xa * ours_ys[i];
+      a_den += xa * xa;
+      b_num += xb * mmr_ys[i];
+      b_den += xb * xb;
+    }
+    double a_fit = a_den > 0 ? a_num / a_den : 0;
+    double b_fit = b_den > 0 ? b_num / b_den : 0;
+    // crossover: a n ln^2 n = b n^2  =>  n / ln^2 n = a / b.
+    if (b_fit > 0) {
+      double target = a_fit / b_fit;
+      double n_cross = 16;
+      for (int iter = 0; iter < 64; ++iter) {
+        double ln = std::log(n_cross);
+        n_cross = target * ln * ln;
+      }
+      std::cout << "projected crossover (a*n*ln^2 n = b*n^2): n ~ "
+                << Table::count(static_cast<unsigned long long>(n_cross))
+                << " — the paper's win is asymptotic; at simulable n the "
+                   "lambda^2 ok-proof constant dominates.\n";
+    }
+  }
+  return 0;
+}

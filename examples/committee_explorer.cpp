@@ -1,0 +1,87 @@
+// Committee parameter explorer — a calculator for the paper's §2/§5.1
+// parameter space.
+//
+//   ./committee_explorer [--n 500] [--eps 0.2] [--d 0.05] [--samples 400]
+//
+// For the given n it prints the admissible ε window, then for (ε, d) —
+// defaults: window midpoints — the derived f, λ, W, B, the analytic coin
+// success-rate bounds, the Chernoff failure bounds for S1–S4, and an
+// empirical committee-size histogram so the abstract quantities become
+// concrete. Invalid parameters are diagnosed rather than rejected
+// silently — this is the tool to consult before configuring a cluster.
+#include <iostream>
+
+#include "committee/params.h"
+#include "common/args.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/env.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 500));
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 400));
+
+  committee::Window ew = committee::epsilon_window(n);
+  std::cout << "n = " << n << "\n"
+            << "epsilon window (S2 §2): (" << Table::num(ew.lo, 4) << ", "
+            << Table::num(ew.hi, 4) << ")"
+            << (ew.feasible() ? "" : "  — EMPTY: n too small for the strict model")
+            << "\n";
+  if (!ew.feasible()) return 1;
+
+  double eps = args.get_double("eps", ew.midpoint());
+  committee::Window dw = committee::d_window(n, eps);
+  std::cout << "d window for eps=" << Table::num(eps, 4) << " (§5.1): ("
+            << Table::num(dw.lo, 4) << ", " << Table::num(dw.hi, 4) << ")"
+            << (dw.feasible() ? "" : "  — EMPTY at this epsilon") << "\n\n";
+  if (!dw.feasible()) return 1;
+
+  double d = args.get_double("d", dw.midpoint());
+  bool strict = ew.contains(eps) && dw.contains(d);
+  committee::Params p = committee::Params::derive(n, eps, d, strict);
+  if (!strict)
+    std::cout << "(parameters outside the strict windows: derived in "
+                 "relaxed mode)\n\n";
+
+  Table t({"quantity", "value", "meaning"});
+  t.add_row({"f", std::to_string(p.f), "tolerated Byzantine processes"});
+  t.add_row({"n/f", Table::num(static_cast<double>(n) / std::max<std::size_t>(p.f, 1), 2),
+             "resilience ratio (paper: ~4.5 asymptotically)"});
+  t.add_row({"lambda", Table::num(p.lambda, 2), "expected committee size 8 ln n"});
+  t.add_row({"W", std::to_string(p.W), "wait threshold (2/3+3d)λ"});
+  t.add_row({"B", std::to_string(p.B), "committee Byzantine bound (1/3−d)λ"});
+  t.add_row({"coin rate (Alg 1)",
+             Table::num(committee::coin_success_lower_bound(eps), 4),
+             "Lemma 4.8 lower bound, per bit value"});
+  t.add_row({"coin rate (Alg 2)",
+             Table::num(committee::whp_coin_success_lower_bound(d), 4),
+             "Lemma B.7 lower bound, per bit value"});
+  t.add_row({"S1 fail bound", Table::num(committee::s1_failure_bound(p.lambda, d), 4),
+             "P[committee too large]"});
+  t.add_row({"S2 fail bound", Table::num(committee::s2_failure_bound(p.lambda, d), 4),
+             "P[committee too small]"});
+  t.add_row({"S3 fail bound", Table::num(committee::s3_failure_bound(p.lambda, d, eps), 4),
+             "P[< W correct members]"});
+  t.add_row({"S4 fail bound", Table::num(committee::s4_failure_bound(p.lambda, d, eps), 4),
+             "P[> B Byzantine members]"});
+  t.print(std::cout);
+
+  // Empirical committee-size histogram from real VRF sampling.
+  core::Env env = core::Env::make(n, eps, d, 42, /*strict=*/false);
+  Histogram sizes;
+  for (std::size_t c = 0; c < samples; ++c) {
+    std::size_t size = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (env.sampler->sample(static_cast<crypto::ProcessId>(i),
+                              "explore-" + std::to_string(c)).sampled)
+        ++size;
+    sizes.add(size);
+  }
+  std::cout << "\ncommittee-size distribution over " << samples
+            << " sampled committees (W=" << p.W << "):\n";
+  sizes.print(std::cout, 50);
+  return 0;
+}

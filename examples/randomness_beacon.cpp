@@ -1,0 +1,73 @@
+// Randomness beacon from the WHP coin (Algorithm 2).
+//
+// Committee-sampled coins are exactly what blockchain beacons need: every
+// round, a fresh unpredictable bit that all participants agree on, at
+// Õ(n) communication. This example flips `rounds` beacon bits across a
+// cluster and reports agreement quality, bit balance and word cost —
+// including what happens when f committee members go silent.
+//
+//   ./randomness_beacon [--n 96] [--rounds 24] [--seed 2] [--silent 3]
+#include <iostream>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "core/coin_runner.h"
+
+using namespace coincidence;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 96));
+  const auto rounds = static_cast<std::uint64_t>(args.get_int("rounds", 24));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+  const auto silent = static_cast<std::size_t>(args.get_int("silent", 0));
+
+  std::cout << "randomness beacon: " << rounds << " WHP-coin rounds, n=" << n
+            << ", silent committee members: " << silent << "\n\n";
+
+  std::string bits;
+  std::size_t agreed = 0, returned = 0, ones = 0;
+  std::uint64_t total_words = 0;
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    core::CoinOptions o;
+    o.kind = core::CoinKind::kWhp;
+    o.n = n;
+    o.round = round;
+    o.seed = seed * 7919 + round;
+    o.silent = silent;
+    core::CoinReport r = core::run_coin_trial(o);
+    total_words += r.correct_words;
+    if (!r.all_returned) {
+      bits += '?';
+      continue;
+    }
+    ++returned;
+    if (r.agreed_bit) {
+      ++agreed;
+      ones += static_cast<std::size_t>(*r.agreed_bit);
+      bits += static_cast<char>('0' + *r.agreed_bit);
+    } else {
+      bits += 'X';  // processes returned but split — coin failure
+    }
+  }
+
+  std::cout << "beacon output : " << bits << "\n"
+            << "  (digit = unanimous bit, X = split outputs, ? = a process "
+               "did not return)\n\n";
+
+  Table t({"metric", "value"});
+  t.add_row({"rounds flipped", std::to_string(rounds)});
+  t.add_row({"all returned", std::to_string(returned)});
+  t.add_row({"unanimous", std::to_string(agreed)});
+  t.add_row({"ones / unanimous",
+             std::to_string(ones) + " / " + std::to_string(agreed)});
+  t.add_row({"avg words per flip",
+             Table::count(rounds ? total_words / rounds : 0)});
+  t.print(std::cout);
+
+  std::cout << "\nThe paper guarantees a constant success rate (Theorem "
+               "5.4);\ndisagreements and non-returns are the whp tail the "
+               "\"WHP coin\" name warns about.\n";
+  return 0;
+}

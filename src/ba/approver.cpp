@@ -1,0 +1,178 @@
+#include "ba/approver.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::ba {
+
+namespace {
+// Word accounting (§6.1): init = value + election proof; echo adds a
+// signature. The ok proof carries W (signature + election proof) pairs —
+// the O(λ) words that make the approver O(n log² n) overall.
+constexpr std::size_t kInitWords = 2;
+constexpr std::size_t kEchoWords = 3;
+std::size_t ok_words(std::size_t proof_entries) {
+  return 2 + 2 * proof_entries;
+}
+}  // namespace
+
+Approver::Approver(Config cfg, Value input, DoneFn on_done)
+    : cfg_(std::move(cfg)), input_(input), on_done_(std::move(on_done)) {
+  COIN_REQUIRE(is_valid_value(input), "Approver: input must be 0, 1 or bot");
+  COIN_REQUIRE(cfg_.registry && cfg_.sampler && cfg_.signer,
+               "Approver: missing crypto environment");
+  COIN_REQUIRE(cfg_.params.W > cfg_.params.B,
+               "Approver: W must exceed B (S5/S6 need the gap)");
+}
+
+Bytes Approver::echo_sign_bytes(Value v) const {
+  Writer w;
+  w.str(cfg_.tag).str("echo").u8(v);
+  return w.take();
+}
+
+void Approver::start(sim::Context& ctx) {
+  auto init = cfg_.sampler->sample(ctx.self(), init_seed());
+  auto ok = cfg_.sampler->sample(ctx.self(), ok_seed());
+  in_init_ = init.sampled;
+  in_ok_ = ok.sampled;
+  init_election_proof_ = std::move(init.proof);
+  ok_election_proof_ = std::move(ok.proof);
+
+  if (in_init_) {
+    Writer w;
+    w.u8(input_).blob(init_election_proof_);
+    ctx.broadcast(cfg_.tag + "/init", w.take(), kInitWords);
+  }
+}
+
+bool Approver::handle(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.tag == cfg_.tag + "/init") return handle_init(ctx, msg);
+  if (msg.tag == cfg_.tag + "/echo") return handle_echo(ctx, msg);
+  if (msg.tag == cfg_.tag + "/ok") return handle_ok(ctx, msg);
+  return false;
+}
+
+bool Approver::handle_init(sim::Context& ctx, const sim::Message& msg) {
+  Value v;
+  Bytes election;
+  try {
+    Reader r(msg.payload);
+    v = r.u8();
+    election = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  if (!is_valid_value(v)) return true;
+  if (!cfg_.sampler->committee_val(init_seed(), msg.from, election))
+    return true;
+  if (!init_senders_[v].insert(msg.from).second) return true;
+  if (init_senders_[v].size() >= cfg_.params.B + 1) maybe_echo(ctx, v);
+  return true;
+}
+
+void Approver::maybe_echo(sim::Context& ctx, Value v) {
+  if (echoed_.count(v)) return;
+  auto election = cfg_.sampler->sample(ctx.self(), echo_seed(v));
+  if (!election.sampled) {
+    echoed_.insert(v);  // cache the negative so we don't re-sample
+    return;
+  }
+  echoed_.insert(v);
+  Bytes sig = cfg_.signer->sign(ctx.self(), echo_sign_bytes(v));
+  Writer w;
+  w.u8(v).blob(election.proof).blob(sig);
+  ctx.broadcast(cfg_.tag + "/echo", w.take(), kEchoWords);
+}
+
+bool Approver::handle_echo(sim::Context& ctx, const sim::Message& msg) {
+  Value v;
+  Bytes election, sig;
+  try {
+    Reader r(msg.payload);
+    v = r.u8();
+    election = r.blob();
+    sig = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  if (!is_valid_value(v)) return true;
+  if (!cfg_.sampler->committee_val(echo_seed(v), msg.from, election))
+    return true;
+  if (!cfg_.signer->verify(msg.from, echo_sign_bytes(v), sig)) return true;
+  if (!echo_senders_[v].insert(msg.from).second) return true;
+  echoes_[v].push_back({msg.from, std::move(sig), std::move(election)});
+  if (echoes_[v].size() >= cfg_.params.W) maybe_ok(ctx, v);
+  return true;
+}
+
+void Approver::maybe_ok(sim::Context& ctx, Value v) {
+  if (sent_ok_ || !in_ok_) return;
+  sent_ok_ = true;
+  Writer w;
+  w.u8(v).blob(ok_election_proof_);
+  const auto& proof = echoes_[v];
+  w.u32(static_cast<std::uint32_t>(cfg_.params.W));
+  for (std::size_t i = 0; i < cfg_.params.W; ++i) {
+    w.u32(proof[i].sender).blob(proof[i].signature).blob(
+        proof[i].election_proof);
+  }
+  ctx.broadcast(cfg_.tag + "/ok", w.take(), ok_words(cfg_.params.W));
+}
+
+bool Approver::handle_ok(sim::Context& /*ctx*/, const sim::Message& msg) {
+  if (done_) return true;
+  Value v;
+  Bytes election;
+  std::vector<SignedEcho> proof;
+  try {
+    Reader r(msg.payload);
+    v = r.u8();
+    election = r.blob();
+    std::uint32_t count = r.u32();
+    if (count != cfg_.params.W) return true;  // wrong proof arity
+    proof.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SignedEcho e;
+      e.sender = r.u32();
+      e.signature = r.blob();
+      e.election_proof = r.blob();
+      proof.push_back(std::move(e));
+    }
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  if (!is_valid_value(v)) return true;
+  if (!cfg_.sampler->committee_val(ok_seed(), msg.from, election))
+    return true;
+
+  // Validate the embedded W signed echoes: distinct echo(v) committee
+  // members, each with a valid signature over <echo, v>.
+  std::set<crypto::ProcessId> distinct;
+  Bytes expected = echo_sign_bytes(v);
+  for (const auto& e : proof) {
+    if (!distinct.insert(e.sender).second) return true;
+    if (!cfg_.sampler->committee_val(echo_seed(v), e.sender,
+                                     e.election_proof))
+      return true;
+    if (!cfg_.signer->verify(e.sender, expected, e.signature)) return true;
+  }
+
+  if (!ok_senders_.insert(msg.from).second) return true;
+  ok_values_.insert(v);
+  if (ok_senders_.size() == cfg_.params.W) {
+    done_ = true;
+    if (on_done_) on_done_(ok_values_);
+  }
+  return true;
+}
+
+const std::set<Value>& Approver::output() const {
+  COIN_REQUIRE(done_, "Approver: output read before completion");
+  return ok_values_;
+}
+
+}  // namespace coincidence::ba

@@ -1,0 +1,132 @@
+// Algorithm 3: the committee-based approver (an adaptation of MMR's
+// SBV-broadcast to committees).
+//
+// Three phases, four committees (Fig. 1): init, echo(0)/echo(1) — one
+// echo committee *per value* so a correct member broadcasts at most once
+// per role (process replaceability) — and ok.
+//
+//   init  member:  broadcast <init, v_input>
+//   echo(v) member: on <init, v> from B+1 distinct senders,
+//                   broadcast a *signed* <echo, v>
+//   ok    member:  on <echo, v> from W distinct echo(v) members, if no
+//                   <ok, *> sent yet, broadcast <ok, v> carrying the W
+//                   signed echoes as a validity proof
+//   everyone:      on <ok, *> from W distinct valid senders, return the
+//                   set of values carried
+//
+// Under Assumption 1 (correct processes invoke with <= 2 distinct values)
+// this satisfies validity, graded agreement and termination whp
+// (Lemmas 6.2–6.4). Word complexity O(nλ²) — the λ² comes from the W
+// signatures inside each ok message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ba/value.h"
+#include "committee/params.h"
+#include "committee/sampler.h"
+#include "crypto/key_registry.h"
+#include "crypto/signer.h"
+#include "sim/process.h"
+
+namespace coincidence::ba {
+
+class Approver {
+ public:
+  struct Config {
+    std::string tag;  // instance routing prefix (and committee seed root)
+    committee::Params params;
+    std::shared_ptr<const crypto::KeyRegistry> registry;
+    std::shared_ptr<const committee::Sampler> sampler;
+    std::shared_ptr<const crypto::Signer> signer;
+  };
+
+  using DoneFn = std::function<void(const std::set<Value>&)>;
+
+  /// `input` is this process's approve() argument (0, 1 or ⊥).
+  Approver(Config cfg, Value input, DoneFn on_done = {});
+
+  void start(sim::Context& ctx);
+  bool handle(sim::Context& ctx, const sim::Message& msg);
+  bool done() const { return done_; }
+  /// The non-empty returned set; requires done().
+  const std::set<Value>& output() const;
+
+  /// Whitebox accessors for tests.
+  bool in_init_committee() const { return in_init_; }
+  bool in_ok_committee() const { return in_ok_; }
+  bool sent_ok() const { return sent_ok_; }
+
+ private:
+  struct SignedEcho {
+    crypto::ProcessId sender = 0;
+    Bytes signature;
+    Bytes election_proof;
+  };
+
+  std::string init_seed() const { return cfg_.tag + "/init"; }
+  std::string echo_seed(Value v) const {
+    return cfg_.tag + "/echo/" + value_name(v);
+  }
+  std::string ok_seed() const { return cfg_.tag + "/ok"; }
+
+  /// The byte string an echo(v) member signs.
+  Bytes echo_sign_bytes(Value v) const;
+
+  void maybe_echo(sim::Context& ctx, Value v);
+  void maybe_ok(sim::Context& ctx, Value v);
+  bool handle_init(sim::Context& ctx, const sim::Message& msg);
+  bool handle_echo(sim::Context& ctx, const sim::Message& msg);
+  bool handle_ok(sim::Context& ctx, const sim::Message& msg);
+
+  Config cfg_;
+  Value input_;
+  DoneFn on_done_;
+
+  bool in_init_ = false;
+  bool in_ok_ = false;
+  Bytes init_election_proof_;
+  Bytes ok_election_proof_;
+
+  // init phase: distinct init-committee senders per value.
+  std::map<Value, std::set<crypto::ProcessId>> init_senders_;
+  std::set<Value> echoed_;  // values this process already echoed
+
+  // echo phase: collected signed echoes per value.
+  std::map<Value, std::vector<SignedEcho>> echoes_;
+  std::map<Value, std::set<crypto::ProcessId>> echo_senders_;
+  bool sent_ok_ = false;
+
+  // ok phase.
+  std::set<crypto::ProcessId> ok_senders_;
+  std::set<Value> ok_values_;
+
+  bool done_ = false;
+};
+
+/// A Process hosting exactly one approver instance — the standalone
+/// harness used by approver tests and the Fig. 1 bench.
+class ApproverHost final : public sim::Process {
+ public:
+  ApproverHost(Approver::Config cfg, Value input)
+      : approver_(std::move(cfg), input) {}
+
+  void on_start(sim::Context& ctx) override { approver_.start(ctx); }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    approver_.handle(ctx, msg);
+  }
+
+  Approver& approver() { return approver_; }
+  const Approver& approver() const { return approver_; }
+
+ private:
+  Approver approver_;
+};
+
+}  // namespace coincidence::ba

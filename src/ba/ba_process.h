@@ -1,0 +1,24 @@
+// Uniform harness-facing interface for every Byzantine Agreement
+// implementation in this repo (ours + all baselines), so tests, benches
+// and examples can drive any of them interchangeably.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/process.h"
+
+namespace coincidence::ba {
+
+class BaProcess : public sim::Process {
+ public:
+  /// True once this process has irrevocably decided.
+  virtual bool decided() const = 0;
+
+  /// The decision in {0, 1}; requires decided().
+  virtual int decision() const = 0;
+
+  /// Round in which the decision fired (0-based); requires decided().
+  virtual std::uint64_t decided_round() const = 0;
+};
+
+}  // namespace coincidence::ba

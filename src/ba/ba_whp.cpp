@@ -1,0 +1,165 @@
+#include "ba/ba_whp.h"
+
+#include "common/errors.h"
+
+namespace coincidence::ba {
+
+BaWhp::BaWhp(Config cfg, Value initial)
+    : cfg_(std::move(cfg)), est_(initial) {
+  COIN_REQUIRE(is_binary(initial), "BaWhp: initial value must be 0 or 1");
+  COIN_REQUIRE(cfg_.vrf && cfg_.registry && cfg_.sampler && cfg_.signer,
+               "BaWhp: missing crypto environment");
+}
+
+int BaWhp::decision() const {
+  COIN_REQUIRE(decision_.has_value(), "BaWhp: not decided yet");
+  return *decision_;
+}
+
+std::uint64_t BaWhp::decided_round() const {
+  COIN_REQUIRE(decision_.has_value(), "BaWhp: not decided yet");
+  return decision_round_;
+}
+
+void BaWhp::on_start(sim::Context& ctx) { begin_round(ctx); }
+
+void BaWhp::begin_round(sim::Context& ctx) {
+  // Halting rule: participate through round decided+extra_rounds, then
+  // stop — one extra round is what Lemma 6.16 needs whp; the rest is
+  // slack for the whp-failure tail.
+  if ((decision_ && round_ > decision_round_ + cfg_.extra_rounds) ||
+      round_ >= cfg_.max_rounds) {
+    phase_ = Phase::kHalted;
+    if (approver_) retired_approvers_.push_back(std::move(approver_));
+    if (coin_) retired_coins_.push_back(std::move(coin_));
+    return;
+  }
+
+  phase_ = Phase::kApproveEst;
+  if (approver_) retired_approvers_.push_back(std::move(approver_));
+  if (coin_) retired_coins_.push_back(std::move(coin_));
+  Approver::Config acfg;
+  acfg.tag = round_tag(round_) + "/a1";
+  acfg.params = cfg_.params;
+  acfg.registry = cfg_.registry;
+  acfg.sampler = cfg_.sampler;
+  acfg.signer = cfg_.signer;
+  approver_ = std::make_unique<Approver>(
+      acfg, est_,
+      [this, &ctx](const std::set<Value>& vals) { on_vals(ctx, vals); });
+  approver_->start(ctx);
+  replay_backlog(ctx);
+}
+
+void BaWhp::on_vals(sim::Context& ctx, const std::set<Value>& vals) {
+  // Line 6–8: propose the singleton value or ⊥.
+  propose_ = vals.size() == 1 ? *vals.begin() : kBot;
+
+  phase_ = Phase::kCoin;
+  coin::WhpCoin::Config ccfg;
+  ccfg.tag = round_tag(round_) + "/coin";
+  ccfg.round = round_;
+  ccfg.params = cfg_.params;
+  ccfg.vrf = cfg_.vrf;
+  ccfg.registry = cfg_.registry;
+  ccfg.sampler = cfg_.sampler;
+  coin_ = std::make_unique<coin::WhpCoin>(
+      ccfg, [this, &ctx](int c) { on_coin(ctx, c); });
+  coin_->start(ctx);
+  replay_backlog(ctx);
+}
+
+void BaWhp::on_coin(sim::Context& ctx, int c) {
+  coin_value_ = c;
+
+  phase_ = Phase::kApprovePropose;
+  if (approver_) retired_approvers_.push_back(std::move(approver_));
+  Approver::Config acfg;
+  acfg.tag = round_tag(round_) + "/a2";
+  acfg.params = cfg_.params;
+  acfg.registry = cfg_.registry;
+  acfg.sampler = cfg_.sampler;
+  acfg.signer = cfg_.signer;
+  approver_ = std::make_unique<Approver>(
+      acfg, propose_,
+      [this, &ctx](const std::set<Value>& props) { on_props(ctx, props); });
+  approver_->start(ctx);
+  replay_backlog(ctx);
+}
+
+void BaWhp::on_props(sim::Context& ctx, const std::set<Value>& props) {
+  if (props.size() == 1 && *props.begin() != kBot) {
+    Value v = *props.begin();
+    est_ = v;
+    if (!decision_) {
+      decision_ = static_cast<int>(v);
+      decision_round_ = round_;
+    }
+  } else if (props.size() == 1 && *props.begin() == kBot) {
+    est_ = static_cast<Value>(coin_value_);
+  } else {
+    // props = {v, ⊥}: adopt the non-⊥ value.
+    for (Value v : props)
+      if (v != kBot) est_ = v;
+  }
+
+  ++round_;
+  begin_round(ctx);
+}
+
+void BaWhp::replay_backlog(sim::Context& ctx) {
+  // Re-offer buffered messages to the (new) active sub-instance. A single
+  // pass suffices per phase change: offer() re-buffers what still doesn't
+  // match, and completion callbacks re-enter via begin_round/on_* which
+  // call replay_backlog again. Messages of rounds already passed can
+  // never match again and are dropped.
+  std::vector<sim::Message> pending;
+  pending.swap(backlog_);
+  for (auto& msg : pending) {
+    if (phase_ == Phase::kHalted) break;
+    if (tag_round(msg.tag) < round_) continue;  // stale round
+    offer(ctx, msg);
+  }
+}
+
+std::uint64_t BaWhp::tag_round(const std::string& tag) const {
+  // Tags look like "<cfg_.tag>/<round>/..."; unparseable tags map to the
+  // current round so they are never pruned prematurely.
+  std::size_t base = cfg_.tag.size();
+  if (tag.size() <= base + 1 || tag.compare(0, base, cfg_.tag) != 0 ||
+      tag[base] != '/')
+    return round_;
+  std::uint64_t r = 0;
+  std::size_t i = base + 1;
+  bool any = false;
+  while (i < tag.size() && tag[i] >= '0' && tag[i] <= '9') {
+    r = r * 10 + static_cast<std::uint64_t>(tag[i] - '0');
+    ++i;
+    any = true;
+  }
+  return any ? r : round_;
+}
+
+bool BaWhp::offer(sim::Context& ctx, const sim::Message& msg) {
+  // Byzantine senders must not grow the backlog without bound: tags
+  // naming rounds beyond the protocol horizon are dropped outright.
+  if (tag_round(msg.tag) >= cfg_.max_rounds) return false;
+  // Try the live sub-instances for the *current* phase; stash otherwise.
+  if (phase_ == Phase::kApproveEst || phase_ == Phase::kApprovePropose) {
+    if (approver_ && approver_->handle(ctx, msg)) return true;
+  } else if (phase_ == Phase::kCoin) {
+    if (coin_ && coin_->handle(ctx, msg)) return true;
+  }
+  if (phase_ != Phase::kHalted) backlog_.push_back(msg);
+  return false;
+}
+
+void BaWhp::on_message(sim::Context& ctx, const sim::Message& msg) {
+  // Safe point: no sub-instance handle() frame is active here.
+  retired_approvers_.clear();
+  retired_coins_.clear();
+  if (phase_ == Phase::kHalted) return;
+  offer(ctx, msg);
+}
+
+}  // namespace coincidence::ba

@@ -1,0 +1,102 @@
+// Algorithm 4: asynchronous Byzantine Agreement WHP.
+//
+// Per round r (all sub-instances tagged "<tag>/<r>/..."):
+//   vals  <- approve(est)                      (first approver)
+//   propose <- v if vals == {v} else ⊥
+//   c     <- whp_coin(r)                       (after proposals are fixed,
+//                                               so the adversary cannot
+//                                               bias proposals by the flip)
+//   props <- approve(propose)                  (second approver)
+//   props == {v}, v != ⊥ : est <- v; decide v if undecided
+//   props == {⊥}         : est <- c
+//   props == {v, ⊥}      : est <- v
+//
+// Expected O(1) rounds (success rate ρ of the coin per round), expected
+// Õ(n) words. Processes keep participating through round decided+1 so
+// that stragglers can finish (Lemma 6.16 shows everyone decides at most
+// one round later whp), then halt.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ba/approver.h"
+#include "ba/ba_process.h"
+#include "ba/value.h"
+#include "coin/whp_coin.h"
+
+namespace coincidence::ba {
+
+class BaWhp final : public BaProcess {
+ public:
+  struct Config {
+    std::string tag = "ba";
+    committee::Params params;
+    std::shared_ptr<const crypto::Vrf> vrf;
+    std::shared_ptr<const crypto::KeyRegistry> registry;
+    std::shared_ptr<const committee::Sampler> sampler;
+    std::shared_ptr<const crypto::Signer> signer;
+    /// Stop starting new rounds beyond this bound (whp-failure guard; the
+    /// expected number of rounds is a small constant).
+    std::uint64_t max_rounds = 64;
+    /// Rounds to keep participating after deciding. Lemma 6.16 says one
+    /// extra round suffices whp; the default adds slack for the rare
+    /// whp-failure so stragglers are not stranded by halted deciders.
+    std::uint64_t extra_rounds = 4;
+  };
+
+  BaWhp(Config cfg, Value initial);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+
+  bool decided() const override { return decision_.has_value(); }
+  int decision() const override;
+  std::uint64_t decided_round() const override;
+
+  std::uint64_t current_round() const { return round_; }
+  Value estimate() const { return est_; }
+
+ private:
+  enum class Phase { kApproveEst, kCoin, kApprovePropose, kHalted };
+
+  std::string round_tag(std::uint64_t r) const {
+    return cfg_.tag + "/" + std::to_string(r);
+  }
+
+  void begin_round(sim::Context& ctx);
+  void on_vals(sim::Context& ctx, const std::set<Value>& vals);
+  void on_coin(sim::Context& ctx, int c);
+  void on_props(sim::Context& ctx, const std::set<Value>& props);
+  void replay_backlog(sim::Context& ctx);
+  bool offer(sim::Context& ctx, const sim::Message& msg);
+  std::uint64_t tag_round(const std::string& tag) const;
+
+  Config cfg_;
+  Value est_;
+  std::optional<int> decision_;
+  std::uint64_t decision_round_ = 0;
+  std::uint64_t round_ = 0;
+  Phase phase_ = Phase::kApproveEst;
+  Value propose_ = kBot;
+  int coin_value_ = 0;
+
+  std::unique_ptr<Approver> approver_;  // the active approver instance
+  std::unique_ptr<coin::WhpCoin> coin_;
+
+  // Completed sub-instances are retired here instead of being destroyed:
+  // a phase transition fires from *inside* the old instance's handle()
+  // frame, so destroying it there would be use-after-free. Drained at the
+  // top of the next on_message, when no sub-instance frame is active.
+  std::vector<std::unique_ptr<Approver>> retired_approvers_;
+  std::vector<std::unique_ptr<coin::WhpCoin>> retired_coins_;
+
+  // Messages for sub-instances that do not exist yet (future rounds /
+  // later phases) — replayed on every phase change. Bounded by the total
+  // traffic of max_rounds rounds.
+  std::vector<sim::Message> backlog_;
+};
+
+}  // namespace coincidence::ba

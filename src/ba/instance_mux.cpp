@@ -1,0 +1,50 @@
+#include "ba/instance_mux.h"
+
+#include "common/errors.h"
+
+namespace coincidence::ba {
+
+void InstanceMux::add_instance(std::string prefix,
+                               std::unique_ptr<BaProcess> instance) {
+  COIN_REQUIRE(instance != nullptr, "InstanceMux: null instance");
+  COIN_REQUIRE(!prefix.empty() && prefix.find('/') == std::string::npos,
+               "InstanceMux: prefix must be a single path segment");
+  auto [it, inserted] =
+      instances_.emplace(std::move(prefix), std::move(instance));
+  COIN_REQUIRE(inserted, "InstanceMux: duplicate prefix");
+}
+
+void InstanceMux::on_start(sim::Context& ctx) {
+  for (auto& [prefix, instance] : instances_) instance->on_start(ctx);
+}
+
+void InstanceMux::on_message(sim::Context& ctx, const sim::Message& msg) {
+  // Route by the first tag segment; unknown prefixes are dropped (they
+  // can only come from Byzantine senders inventing instances).
+  auto slash = msg.tag.find('/');
+  std::string prefix =
+      slash == std::string::npos ? msg.tag : msg.tag.substr(0, slash);
+  auto it = instances_.find(prefix);
+  if (it == instances_.end()) return;
+  it->second->on_message(ctx, msg);
+}
+
+BaProcess& InstanceMux::instance(const std::string& prefix) {
+  auto it = instances_.find(prefix);
+  COIN_REQUIRE(it != instances_.end(), "InstanceMux: unknown prefix");
+  return *it->second;
+}
+
+const BaProcess& InstanceMux::instance(const std::string& prefix) const {
+  auto it = instances_.find(prefix);
+  COIN_REQUIRE(it != instances_.end(), "InstanceMux: unknown prefix");
+  return *it->second;
+}
+
+bool InstanceMux::all_decided() const {
+  for (const auto& [prefix, instance] : instances_)
+    if (!instance->decided()) return false;
+  return true;
+}
+
+}  // namespace coincidence::ba

@@ -1,0 +1,39 @@
+// Multiplexes several agreement instances inside one Process.
+//
+// §3 (comparison with Blum et al.): "setup has to occur once and may be
+// used for any number of BA instances". InstanceMux is that statement
+// made executable: one process participates in many concurrently-running
+// BA instances — one per log slot, say — sharing the single PKI/VRF
+// setup, with messages routed by instance tag prefix.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ba/ba_process.h"
+
+namespace coincidence::ba {
+
+class InstanceMux final : public sim::Process {
+ public:
+  /// Adds an instance reachable under `prefix` (its Config.tag must equal
+  /// `prefix`, so its messages all start with "<prefix>/"). Call before
+  /// the simulation starts.
+  void add_instance(std::string prefix, std::unique_ptr<BaProcess> instance);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+
+  std::size_t instance_count() const { return instances_.size(); }
+  /// The instance registered under `prefix`; throws if absent.
+  BaProcess& instance(const std::string& prefix);
+  const BaProcess& instance(const std::string& prefix) const;
+
+  bool all_decided() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<BaProcess>> instances_;
+};
+
+}  // namespace coincidence::ba

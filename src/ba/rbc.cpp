@@ -1,0 +1,74 @@
+#include "ba/rbc.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::ba {
+
+ReliableBroadcast::ReliableBroadcast(Config cfg, DeliverFn on_deliver)
+    : cfg_(std::move(cfg)), on_deliver_(std::move(on_deliver)) {
+  COIN_REQUIRE(cfg_.n > 3 * cfg_.f, "ReliableBroadcast: requires n > 3f");
+}
+
+void ReliableBroadcast::broadcast(sim::Context& ctx, Bytes payload,
+                                  std::size_t words) {
+  payload_words_ = words;
+  ctx.broadcast(cfg_.tag + "/initial", std::move(payload), words);
+}
+
+void ReliableBroadcast::maybe_send_ready(sim::Context& ctx,
+                                         const FlowKey& key) {
+  if (ready_sent_.count(key)) return;
+  ready_sent_.insert(key);
+  Writer w;
+  w.u32(key.source).blob(key.payload);
+  ctx.broadcast(cfg_.tag + "/ready", w.take(), payload_words_ + 1);
+}
+
+void ReliableBroadcast::maybe_deliver(const FlowKey& key) {
+  if (delivered_.count(key.source)) return;  // one delivery per source
+  delivered_.insert(key.source);
+  if (on_deliver_) on_deliver_(key.source, key.payload);
+}
+
+bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.tag == cfg_.tag + "/initial") {
+    // Echo once per source: the first initial wins; an equivocating
+    // source simply fails to gather a quorum for either payload.
+    if (echoed_sources_.insert(msg.from).second) {
+      Writer w;
+      w.u32(msg.from).blob(msg.payload);
+      ctx.broadcast(cfg_.tag + "/echo", w.take(), payload_words_ + 1);
+    }
+    return true;
+  }
+
+  bool is_echo = msg.tag == cfg_.tag + "/echo";
+  bool is_ready = msg.tag == cfg_.tag + "/ready";
+  if (!is_echo && !is_ready) return false;
+
+  FlowKey key;
+  try {
+    Reader r(msg.payload);
+    key.source = r.u32();
+    key.payload = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  if (key.source >= cfg_.n) return true;
+
+  Flow& flow = flows_[key];
+  if (is_echo) {
+    if (!flow.echoes.insert(msg.from).second) return true;
+    if (2 * flow.echoes.size() > cfg_.n + cfg_.f)
+      maybe_send_ready(ctx, key);
+  } else {
+    if (!flow.readies.insert(msg.from).second) return true;
+    if (flow.readies.size() >= cfg_.f + 1) maybe_send_ready(ctx, key);
+    if (flow.readies.size() >= 2 * cfg_.f + 1) maybe_deliver(key);
+  }
+  return true;
+}
+
+}  // namespace coincidence::ba

@@ -1,0 +1,81 @@
+// Bracha's reliable broadcast (Information & Computation 1987) — the
+// classic echo/ready primitive, n > 3f:
+//
+//   source:            broadcast <initial, m>
+//   on <initial, m>:   broadcast <echo, src, m>          (once per source)
+//   on <echo, src, m>  from > (n+f)/2 distinct: broadcast <ready, src, m>
+//   on <ready, src, m> from f+1 distinct:       broadcast <ready, src, m>
+//   on <ready, src, m> from 2f+1 distinct:      deliver (src, m)
+//
+// Guarantees: if the source is correct everyone delivers its m; if any
+// correct process delivers (src, m), every correct process delivers
+// (src, m) and nobody delivers (src, m') with m' != m. Used as the
+// broadcast layer of the Bracha BA baseline and independently tested.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/process.h"
+
+namespace coincidence::ba {
+
+class ReliableBroadcast {
+ public:
+  struct Config {
+    std::string tag;  // instance namespace; one broadcast per source in it
+    std::size_t n = 0;
+    std::size_t f = 0;
+  };
+
+  /// Fires exactly once per source whose broadcast gets delivered.
+  using DeliverFn =
+      std::function<void(sim::ProcessId source, const Bytes& payload)>;
+
+  ReliableBroadcast(Config cfg, DeliverFn on_deliver);
+
+  /// Broadcasts this process's message for the instance. `words` is the
+  /// paper word count of the payload.
+  void broadcast(sim::Context& ctx, Bytes payload, std::size_t words);
+
+  bool handle(sim::Context& ctx, const sim::Message& msg);
+
+  bool delivered(sim::ProcessId source) const {
+    return delivered_.count(source) > 0;
+  }
+  std::size_t delivered_count() const { return delivered_.size(); }
+
+ private:
+  // Per (source, payload) echo/ready tallies. Byzantine sources may
+  // equivocate, producing several live keys for one source; the delivery
+  // guard ensures at most one wins.
+  struct FlowKey {
+    sim::ProcessId source;
+    Bytes payload;
+    bool operator<(const FlowKey& o) const {
+      return source != o.source ? source < o.source : payload < o.payload;
+    }
+  };
+  struct Flow {
+    std::set<sim::ProcessId> echoes;
+    std::set<sim::ProcessId> readies;
+  };
+
+  void maybe_send_ready(sim::Context& ctx, const FlowKey& key);
+  void maybe_deliver(const FlowKey& key);
+
+  Config cfg_;
+  DeliverFn on_deliver_;
+  std::size_t payload_words_ = 1;
+
+  std::map<FlowKey, Flow> flows_;
+  std::set<sim::ProcessId> echoed_sources_;  // echo once per source
+  std::set<FlowKey> ready_sent_;
+  std::set<sim::ProcessId> delivered_;
+};
+
+}  // namespace coincidence::ba

@@ -1,0 +1,28 @@
+// Binary agreement values. The approver additionally transports ⊥
+// (Algorithm 4 proposes ⊥ when its first approver returns a non-
+// singleton), so the wire value domain is {0, 1, ⊥}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coincidence::ba {
+
+using Value = std::uint8_t;
+inline constexpr Value kZero = 0;
+inline constexpr Value kOne = 1;
+inline constexpr Value kBot = 2;  // the paper's ⊥
+
+inline bool is_binary(Value v) { return v == kZero || v == kOne; }
+inline bool is_valid_value(Value v) { return v <= kBot; }
+
+inline std::string value_name(Value v) {
+  switch (v) {
+    case kZero: return "0";
+    case kOne: return "1";
+    case kBot: return "bot";
+    default: return "invalid";
+  }
+}
+
+}  // namespace coincidence::ba

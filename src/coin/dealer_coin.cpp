@@ -1,0 +1,110 @@
+#include "coin/dealer_coin.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+#include "crypto/hmac.h"
+
+namespace coincidence::coin {
+
+namespace {
+constexpr std::size_t kShareMessageWords = 2;  // share value + dealer tag
+}  // namespace
+
+DealerCoinSetup::DealerCoinSetup(std::size_t n, std::size_t f,
+                                 std::size_t max_rounds, std::uint64_t seed)
+    : n_(n), f_(f) {
+  COIN_REQUIRE(n > f, "DealerCoinSetup: need n > f");
+  Rng rng(seed);
+  dealer_key_ = rng.next_bytes(32);
+  round_secrets_.reserve(max_rounds);
+  rounds_.reserve(max_rounds);
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    // The dealt secret is a full field element whose LSB is the coin bit
+    // (sharing just {0,1} would leak the bit to any single share holder
+    // in a trivial scheme; a random element keeps shares uninformative).
+    std::uint64_t secret = rng.next_below(crypto::Field61::kP);
+    round_secrets_.push_back(secret);
+    rounds_.push_back(crypto::shamir_share(secret, n, f, rng));
+  }
+}
+
+Bytes DealerCoinSetup::mac_for(std::uint64_t round,
+                               const crypto::Share& share) const {
+  Writer w;
+  w.u64(round).u64(share.x).u64(share.y);
+  return crypto::hmac_sha256_bytes(dealer_key_, w.bytes());
+}
+
+DealerCoinSetup::DealtShare DealerCoinSetup::share_for(
+    std::uint64_t round, crypto::ProcessId i) const {
+  COIN_REQUIRE(round < rounds_.size(), "DealerCoinSetup: round not dealt");
+  COIN_REQUIRE(i < n_, "DealerCoinSetup: bad process id");
+  const crypto::Share& s = rounds_[round][i];
+  return {s, mac_for(round, s)};
+}
+
+bool DealerCoinSetup::verify_share(std::uint64_t round,
+                                   const crypto::Share& share,
+                                   BytesView mac) const {
+  if (round >= rounds_.size()) return false;
+  return ct_equal(mac_for(round, share), mac);
+}
+
+int DealerCoinSetup::bit_of(std::uint64_t round) const {
+  COIN_REQUIRE(round < round_secrets_.size(),
+               "DealerCoinSetup: round not dealt");
+  return static_cast<int>(round_secrets_[round] & 1);
+}
+
+DealerCoin::DealerCoin(Config cfg, DoneFn on_done)
+    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+  COIN_REQUIRE(cfg_.setup != nullptr, "DealerCoin: missing setup");
+  COIN_REQUIRE(cfg_.round < cfg_.setup->max_rounds(),
+               "DealerCoin: round beyond dealt supply");
+}
+
+void DealerCoin::start(sim::Context& ctx) {
+  auto dealt = cfg_.setup->share_for(cfg_.round, ctx.self());
+  Writer w;
+  w.u64(dealt.share.x).u64(dealt.share.y).blob(dealt.mac);
+  ctx.broadcast(cfg_.tag + "/share", w.take(), kShareMessageWords);
+}
+
+bool DealerCoin::handle(sim::Context& /*ctx*/, const sim::Message& msg) {
+  if (msg.tag != cfg_.tag + "/share") return false;
+  if (done_) return true;
+
+  crypto::Share share;
+  Bytes mac;
+  try {
+    Reader r(msg.payload);
+    share.x = r.u64();
+    share.y = r.u64();
+    mac = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  // The dealer authenticated (round, x, y); a Byzantine process can only
+  // replay its own legitimate share or be ignored.
+  if (share.x != static_cast<std::uint64_t>(msg.from) + 1) return true;
+  if (!cfg_.setup->verify_share(cfg_.round, share, mac)) return true;
+  shares_.emplace(msg.from, share);
+
+  if (shares_.size() == cfg_.setup->f() + 1) {
+    std::vector<crypto::Share> reveal;
+    reveal.reserve(shares_.size());
+    for (const auto& [id, s] : shares_) reveal.push_back(s);
+    done_ = true;
+    output_ = static_cast<int>(crypto::shamir_reconstruct(reveal) & 1);
+    if (on_done_) on_done_(output_);
+  }
+  return true;
+}
+
+int DealerCoin::output() const {
+  COIN_REQUIRE(done_, "DealerCoin: output read before completion");
+  return output_;
+}
+
+}  // namespace coincidence::coin

@@ -1,0 +1,91 @@
+// Rabin-style dealer coin (baseline, cf. Table 1 row "Rabin [33]").
+//
+// Rabin's shared coin assumes a trusted dealer who pre-deals Shamir
+// shares of a sequence of random bits; in round r every process reveals
+// its share and reconstructs the bit from f+1 of them. We reproduce that
+// trust model: DealerCoinSetup is the dealer (runs before the protocol,
+// like the paper's PKI setup), shares are authenticated with the dealer's
+// key so Byzantine processes cannot poison reconstruction — the classic
+// "check pieces" device in Rabin's construction.
+//
+// Success rate 1 (it is a perfect coin); word complexity O(n²) per flip;
+// requires the stronger trusted-dealer setup our protocol avoids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coin/coin_protocol.h"
+#include "crypto/key_registry.h"
+#include "crypto/shamir.h"
+#include "crypto/signer.h"
+
+namespace coincidence::coin {
+
+/// The trusted dealer: pre-deals authenticated Shamir shares of random
+/// bits for rounds [0, max_rounds).
+class DealerCoinSetup {
+ public:
+  DealerCoinSetup(std::size_t n, std::size_t f, std::size_t max_rounds,
+                  std::uint64_t seed);
+
+  std::size_t n() const { return n_; }
+  std::size_t f() const { return f_; }
+  std::size_t max_rounds() const { return rounds_.size(); }
+
+  struct DealtShare {
+    crypto::Share share;
+    Bytes mac;  // dealer authentication tag over (round, x, y)
+  };
+
+  /// The share dealt to process `i` for round `r`.
+  DealtShare share_for(std::uint64_t round, crypto::ProcessId i) const;
+
+  /// Verifies a revealed share against the dealer's authentication tag.
+  bool verify_share(std::uint64_t round, const crypto::Share& share,
+                    BytesView mac) const;
+
+  /// Ground truth for tests: the bit the dealer committed for round r.
+  int bit_of(std::uint64_t round) const;
+
+ private:
+  Bytes mac_for(std::uint64_t round, const crypto::Share& share) const;
+
+  std::size_t n_;
+  std::size_t f_;
+  Bytes dealer_key_;
+  std::vector<std::uint64_t> round_secrets_;
+  std::vector<std::vector<crypto::Share>> rounds_;  // [round][process]
+};
+
+class DealerCoin final : public CoinProtocol {
+ public:
+  struct Config {
+    std::string tag;
+    std::uint64_t round = 0;
+    std::shared_ptr<const DealerCoinSetup> setup;
+  };
+
+  using DoneFn = std::function<void(int)>;
+
+  DealerCoin(Config cfg, DoneFn on_done = {});
+
+  void start(sim::Context& ctx) override;
+  bool handle(sim::Context& ctx, const sim::Message& msg) override;
+  bool done() const override { return done_; }
+  int output() const override;
+
+ private:
+  Config cfg_;
+  DoneFn on_done_;
+  std::map<crypto::ProcessId, crypto::Share> shares_;
+  bool done_ = false;
+  int output_ = 0;
+};
+
+}  // namespace coincidence::coin

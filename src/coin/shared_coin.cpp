@@ -1,0 +1,118 @@
+#include "coin/shared_coin.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::coin {
+
+namespace {
+// Message word accounting (§2): a VRF output is a value (1 word) plus a
+// proof (1 word); the message type tag is a constant number of bits.
+constexpr std::size_t kCoinMessageWords = 2;
+}  // namespace
+
+// Payload layout shared by <first> and <second> messages. The value blob
+// comes first (the ablation adversary in sim/adversary.cpp relies on
+// being able to read it in illegal content-aware mode).
+struct SharedCoin::Wire {
+  Bytes value;
+  crypto::ProcessId origin = 0;
+  Bytes origin_proof;
+
+  Bytes encode() const {
+    Writer w;
+    w.blob(value).u32(origin).blob(origin_proof);
+    return w.take();
+  }
+
+  static bool decode(BytesView payload, Wire& out) {
+    try {
+      Reader r(payload);
+      out.value = r.blob();
+      out.origin = r.u32();
+      out.origin_proof = r.blob();
+      r.done();
+      return true;
+    } catch (const CodecError&) {
+      return false;
+    }
+  }
+};
+
+SharedCoin::SharedCoin(Config cfg, DoneFn on_done)
+    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+  COIN_REQUIRE(cfg_.n > 0, "SharedCoin: n must be positive");
+  COIN_REQUIRE(cfg_.n > 2 * cfg_.f, "SharedCoin: need n - f > f");
+  COIN_REQUIRE(cfg_.vrf != nullptr && cfg_.registry != nullptr,
+               "SharedCoin: missing crypto environment");
+}
+
+Bytes SharedCoin::vrf_input() const {
+  Writer w;
+  w.str("shared-coin").u64(cfg_.round);
+  return w.take();
+}
+
+void SharedCoin::fold_min(const Bytes& value, crypto::ProcessId origin,
+                          const Bytes& origin_proof) {
+  // Lexicographic comparison of the fixed-width big-endian values is the
+  // numeric order; origin id breaks the (cryptographically negligible) tie.
+  if (min_value_.empty() || value < min_value_ ||
+      (value == min_value_ && origin < min_origin_)) {
+    min_value_ = value;
+    min_origin_ = origin;
+    min_origin_proof_ = origin_proof;
+  }
+}
+
+void SharedCoin::start(sim::Context& ctx) {
+  crypto::VrfOutput out =
+      cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input());
+  Wire wire{out.value, ctx.self(), out.proof};
+  ctx.broadcast(cfg_.tag + "/first", wire.encode(), kCoinMessageWords);
+}
+
+bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
+  bool is_first = msg.tag == cfg_.tag + "/first";
+  bool is_second = msg.tag == cfg_.tag + "/second";
+  if (!is_first && !is_second) return false;
+
+  Wire wire;
+  if (!Wire::decode(msg.payload, wire)) return true;  // malformed: ignore
+  if (is_first && wire.origin != msg.from) return true;  // firsts are own values
+  if (wire.origin >= cfg_.n) return true;
+  crypto::VrfOutput out{wire.value, wire.origin_proof};
+  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input(), out))
+    return true;  // forged value/proof: ignore (paper: "would expose it")
+
+  if (is_first) {
+    if (done_ || !first_set_.insert(msg.from).second) return true;
+    // Late firsts (after <second> went out) still fold into v_i, exactly
+    // as in the pseudo-code: only the *send* is once-only.
+    fold_min(wire.value, wire.origin, wire.origin_proof);
+    if (!sent_second_ && first_set_.size() == cfg_.n - cfg_.f) {
+      sent_second_ = true;
+      first_snapshot_ = first_set_;
+      Wire relay{min_value_, min_origin_, min_origin_proof_};
+      ctx.broadcast(cfg_.tag + "/second", relay.encode(), kCoinMessageWords);
+    }
+    return true;
+  }
+
+  // <second>
+  if (done_ || !second_set_.insert(msg.from).second) return true;
+  fold_min(wire.value, wire.origin, wire.origin_proof);
+  if (second_set_.size() == cfg_.n - cfg_.f) {
+    done_ = true;
+    output_ = min_value_.back() & 1;
+    if (on_done_) on_done_(output_);
+  }
+  return true;
+}
+
+int SharedCoin::output() const {
+  COIN_REQUIRE(done_, "SharedCoin: output read before completion");
+  return output_;
+}
+
+}  // namespace coincidence::coin

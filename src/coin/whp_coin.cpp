@@ -1,0 +1,136 @@
+#include "coin/whp_coin.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::coin {
+
+namespace {
+// Value (1) + originator VRF proof (1) + sender election proof (1).
+constexpr std::size_t kWhpCoinMessageWords = 3;
+}  // namespace
+
+// Payload: the coin value + its originator's VRF proof, plus the
+// *sender's* committee-election proof. Value blob first (see
+// sim/adversary.cpp ablation note).
+struct WhpCoin::Wire {
+  Bytes value;
+  crypto::ProcessId origin = 0;
+  Bytes origin_proof;
+  Bytes election_proof;
+
+  Bytes encode() const {
+    Writer w;
+    w.blob(value).u32(origin).blob(origin_proof).blob(election_proof);
+    return w.take();
+  }
+
+  static bool decode(BytesView payload, Wire& out) {
+    try {
+      Reader r(payload);
+      out.value = r.blob();
+      out.origin = r.u32();
+      out.origin_proof = r.blob();
+      out.election_proof = r.blob();
+      r.done();
+      return true;
+    } catch (const CodecError&) {
+      return false;
+    }
+  }
+};
+
+WhpCoin::WhpCoin(Config cfg, DoneFn on_done)
+    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+  COIN_REQUIRE(cfg_.vrf && cfg_.registry && cfg_.sampler,
+               "WhpCoin: missing crypto environment");
+  COIN_REQUIRE(cfg_.params.n > 0 && cfg_.params.W > 0,
+               "WhpCoin: bad parameters");
+}
+
+Bytes WhpCoin::vrf_input() const {
+  Writer w;
+  w.str("whp-coin").u64(cfg_.round);
+  return w.take();
+}
+
+void WhpCoin::fold_min(const Bytes& value, crypto::ProcessId origin,
+                       const Bytes& origin_proof) {
+  if (min_value_.empty() || value < min_value_ ||
+      (value == min_value_ && origin < min_origin_)) {
+    min_value_ = value;
+    min_origin_ = origin;
+    min_origin_proof_ = origin_proof;
+  }
+}
+
+void WhpCoin::start(sim::Context& ctx) {
+  auto first = cfg_.sampler->sample(ctx.self(), first_seed());
+  auto second = cfg_.sampler->sample(ctx.self(), second_seed());
+  in_first_ = first.sampled;
+  in_second_ = second.sampled;
+  first_election_proof_ = std::move(first.proof);
+  second_election_proof_ = std::move(second.proof);
+
+  if (in_first_) {
+    crypto::VrfOutput out =
+        cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input());
+    // A first-committee member seeds its own v_i (line 3).
+    fold_min(out.value, ctx.self(), out.proof);
+    Wire wire{out.value, ctx.self(), out.proof, first_election_proof_};
+    ctx.broadcast(cfg_.tag + "/first", wire.encode(), kWhpCoinMessageWords);
+  }
+}
+
+bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
+  bool is_first = msg.tag == cfg_.tag + "/first";
+  bool is_second = msg.tag == cfg_.tag + "/second";
+  if (!is_first && !is_second) return false;
+
+  Wire wire;
+  if (!Wire::decode(msg.payload, wire)) return true;
+  if (wire.origin >= cfg_.params.n) return true;
+  if (is_first && wire.origin != msg.from) return true;
+
+  // The sender must prove membership in the phase's committee…
+  const std::string& seed = is_first ? first_seed() : second_seed();
+  if (!cfg_.sampler->committee_val(seed, msg.from, wire.election_proof))
+    return true;
+  // …and the carried value must be the originator's honest VRF output.
+  crypto::VrfOutput out{wire.value, wire.origin_proof};
+  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input(), out))
+    return true;
+
+  if (is_first) {
+    // Only second-committee members consume firsts (line 7).
+    if (!in_second_ || done_) return true;
+    if (!first_set_.insert(msg.from).second) return true;
+    fold_min(wire.value, wire.origin, wire.origin_proof);
+    if (!sent_second_ && first_set_.size() == cfg_.params.W) {
+      sent_second_ = true;
+      first_snapshot_ = first_set_;
+      Wire relay{min_value_, min_origin_, min_origin_proof_,
+                 second_election_proof_};
+      ctx.broadcast(cfg_.tag + "/second", relay.encode(),
+                    kWhpCoinMessageWords);
+    }
+    return true;
+  }
+
+  // <second>: every process participates in the final wait (lines 13–17).
+  if (done_ || !second_set_.insert(msg.from).second) return true;
+  fold_min(wire.value, wire.origin, wire.origin_proof);
+  if (second_set_.size() == cfg_.params.W) {
+    done_ = true;
+    output_ = min_value_.back() & 1;
+    if (on_done_) on_done_(output_);
+  }
+  return true;
+}
+
+int WhpCoin::output() const {
+  COIN_REQUIRE(done_, "WhpCoin: output read before completion");
+  return output_;
+}
+
+}  // namespace coincidence::coin

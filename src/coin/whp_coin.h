@@ -1,0 +1,88 @@
+// Algorithm 2: the committee-sampled WHP coin.
+//
+// Two committees are sampled locally via the VRF (seeds "<tag>/first",
+// "<tag>/second"): only first-committee members contribute VRF values,
+// only second-committee members relay minima, but messages go to all n
+// processes (membership is unpredictable, so there is nobody smaller to
+// address). Thresholds move from n−f to W = ⌈(2/3+3d)λ⌉, justified by the
+// Chernoff properties S1–S6.
+//
+// Success rate >= (18d² + 27d − 1)/(3(5+6d)(1−d)(1+9d)) whp (Theorem 5.4).
+// Word complexity O(nλ) = O(n log n) in expectation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "coin/coin_protocol.h"
+#include "committee/params.h"
+#include "committee/sampler.h"
+#include "crypto/key_registry.h"
+#include "crypto/vrf.h"
+
+namespace coincidence::coin {
+
+class WhpCoin final : public CoinProtocol {
+ public:
+  struct Config {
+    std::string tag;      // instance routing prefix (also the committee seed)
+    std::uint64_t round;  // the argument r of whp_coin(r)
+    committee::Params params;
+    std::shared_ptr<const crypto::Vrf> vrf;
+    std::shared_ptr<const crypto::KeyRegistry> registry;
+    std::shared_ptr<const committee::Sampler> sampler;
+  };
+
+  using DoneFn = std::function<void(int)>;
+
+  WhpCoin(Config cfg, DoneFn on_done = {});
+
+  void start(sim::Context& ctx) override;
+  bool handle(sim::Context& ctx, const sim::Message& msg) override;
+  bool done() const override { return done_; }
+  int output() const override;
+
+  /// Whitebox accessors for tests.
+  bool in_first_committee() const { return in_first_; }
+  bool in_second_committee() const { return in_second_; }
+  const Bytes& current_min_value() const { return min_value_; }
+  crypto::ProcessId current_min_origin() const { return min_origin_; }
+  /// Origins of firsts received when the <second> went out (Lemma B.1's
+  /// table row); empty unless this process is a second-committee member
+  /// that reached W firsts.
+  const std::set<crypto::ProcessId>& phase1_snapshot() const {
+    return first_snapshot_;
+  }
+
+ private:
+  struct Wire;
+
+  Bytes vrf_input() const;
+  std::string first_seed() const { return cfg_.tag + "/first"; }
+  std::string second_seed() const { return cfg_.tag + "/second"; }
+  void fold_min(const Bytes& value, crypto::ProcessId origin,
+                const Bytes& origin_proof);
+
+  Config cfg_;
+  DoneFn on_done_;
+
+  bool in_first_ = false;
+  bool in_second_ = false;
+  Bytes first_election_proof_;
+  Bytes second_election_proof_;
+
+  Bytes min_value_;  // empty encodes the paper's v_i = ∞
+  crypto::ProcessId min_origin_ = 0;
+  Bytes min_origin_proof_;
+  std::set<crypto::ProcessId> first_set_;
+  std::set<crypto::ProcessId> first_snapshot_;  // first_set_ at second-send
+  std::set<crypto::ProcessId> second_set_;
+  bool sent_second_ = false;
+  bool done_ = false;
+  int output_ = 0;
+};
+
+}  // namespace coincidence::coin

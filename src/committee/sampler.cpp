@@ -1,0 +1,76 @@
+#include "committee/sampler.h"
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::committee {
+
+Sampler::Sampler(std::shared_ptr<const crypto::Vrf> vrf,
+                 std::shared_ptr<const crypto::KeyRegistry> registry,
+                 double lambda_over_n)
+    : vrf_(std::move(vrf)),
+      registry_(std::move(registry)),
+      lambda_over_n_(lambda_over_n) {
+  COIN_REQUIRE(vrf_ != nullptr && registry_ != nullptr,
+               "Sampler needs vrf and registry");
+  COIN_REQUIRE(lambda_over_n_ > 0.0 && lambda_over_n_ <= 1.0,
+               "Sampler: lambda/n must be in (0, 1]");
+}
+
+Bytes Sampler::vrf_input(const std::string& seed) const {
+  Writer w;
+  w.str("cmte").str(seed);
+  return w.take();
+}
+
+Sampler::Election Sampler::sample(ProcessId i, const std::string& seed) const {
+  crypto::VrfOutput out = vrf_->eval(registry_->sk_of(i), vrf_input(seed));
+  bool sampled = crypto::vrf_value_as_unit_double(out.value) < lambda_over_n_;
+  Writer w;
+  w.blob(out.value).blob(out.proof);
+  return {sampled, w.take()};
+}
+
+bool Sampler::committee_val(const std::string& seed, ProcessId i,
+                            BytesView proof) const {
+  if (!registry_->has(i)) return false;
+  crypto::VrfOutput out;
+  try {
+    Reader r(proof);
+    out.value = r.blob();
+    out.proof = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return false;
+  }
+  if (out.value.size() < 8) return false;
+  if (!vrf_->verify(registry_->pk_of(i), vrf_input(seed), out)) return false;
+  return crypto::vrf_value_as_unit_double(out.value) < lambda_over_n_;
+}
+
+CachingSampler::CachingSampler(
+    std::shared_ptr<const crypto::Vrf> vrf,
+    std::shared_ptr<const crypto::KeyRegistry> registry, double lambda_over_n)
+    : Sampler(std::move(vrf), std::move(registry), lambda_over_n) {}
+
+Sampler::Election CachingSampler::sample(ProcessId i,
+                                         const std::string& seed) const {
+  auto key = std::make_pair(i, seed);
+  auto it = sample_cache_.find(key);
+  if (it != sample_cache_.end()) return it->second;
+  Election e = Sampler::sample(i, seed);
+  sample_cache_.emplace(std::move(key), e);
+  return e;
+}
+
+bool CachingSampler::committee_val(const std::string& seed, ProcessId i,
+                                   BytesView proof) const {
+  auto key = std::make_tuple(seed, i, Bytes(proof.begin(), proof.end()));
+  auto it = val_cache_.find(key);
+  if (it != val_cache_.end()) return it->second;
+  bool ok = Sampler::committee_val(seed, i, proof);
+  val_cache_.emplace(std::move(key), ok);
+  return ok;
+}
+
+}  // namespace coincidence::committee

@@ -1,0 +1,82 @@
+// Validated committee sampling (§5.1).
+//
+// sample_i(s, λ) is a *local* computation: process i evaluates its VRF on
+// the committee seed and is elected iff the output, mapped to [0,1), is
+// below λ/n. The returned proof is the VRF output+proof; committee-val
+// verifies it against i's public key and recomputes the threshold test —
+// so (a) election needs no communication, (b) nobody can predict another
+// process's membership (VRF pseudorandomness), and (c) membership claims
+// are unforgeable (VRF uniqueness).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/bytes.h"
+#include "crypto/key_registry.h"
+#include "crypto/vrf.h"
+
+namespace coincidence::committee {
+
+using crypto::ProcessId;
+
+class Sampler {
+ public:
+  /// `lambda_over_n` is the per-process election probability λ/n.
+  Sampler(std::shared_ptr<const crypto::Vrf> vrf,
+          std::shared_ptr<const crypto::KeyRegistry> registry,
+          double lambda_over_n);
+  virtual ~Sampler() = default;
+
+  struct Election {
+    bool sampled = false;
+    Bytes proof;  // serialized VRF output; 1 word on the wire
+  };
+
+  /// sample_i(s, λ): process i's private election for committee seed `s`.
+  virtual Election sample(ProcessId i, const std::string& seed) const;
+
+  /// committee-val(s, λ, i, σ): public verification. True iff `proof` is
+  /// i's valid election proof for `seed` AND it proves membership.
+  virtual bool committee_val(const std::string& seed, ProcessId i,
+                             BytesView proof) const;
+
+  double threshold() const { return lambda_over_n_; }
+
+ private:
+  Bytes vrf_input(const std::string& seed) const;
+
+  std::shared_ptr<const crypto::Vrf> vrf_;
+  std::shared_ptr<const crypto::KeyRegistry> registry_;
+  double lambda_over_n_;
+};
+
+/// Memoizing decorator. VRF evaluation and proof verification are pure
+/// functions, so both directions cache perfectly; the approver's ok-proof
+/// validation (§6.1) re-verifies the same W elections for every one of
+/// the ~λ ok messages a process receives, which this collapses to one
+/// verification each — the standard verify-once optimization a real node
+/// would ship. Single-threaded by design, like the simulator.
+class CachingSampler final : public Sampler {
+ public:
+  CachingSampler(std::shared_ptr<const crypto::Vrf> vrf,
+                 std::shared_ptr<const crypto::KeyRegistry> registry,
+                 double lambda_over_n);
+
+  Election sample(ProcessId i, const std::string& seed) const override;
+  bool committee_val(const std::string& seed, ProcessId i,
+                     BytesView proof) const override;
+
+  std::size_t sample_cache_size() const { return sample_cache_.size(); }
+  std::size_t val_cache_size() const { return val_cache_.size(); }
+
+ private:
+  mutable std::map<std::pair<ProcessId, std::string>, Election> sample_cache_;
+  // key: (seed, id, proof bytes) -> verdict.
+  mutable std::map<std::tuple<std::string, ProcessId, Bytes>, bool> val_cache_;
+};
+
+}  // namespace coincidence::committee

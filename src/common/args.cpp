@@ -1,0 +1,49 @@
+#include "common/args.h"
+
+#include <cstdlib>
+
+namespace coincidence {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(a);
+      continue;
+    }
+    a = a.substr(2);
+    auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      kv_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[a] = argv[++i];
+    } else {
+      kv_[a] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace coincidence

@@ -1,0 +1,15 @@
+#include "common/errors.h"
+
+#include <sstream>
+
+namespace coincidence::detail {
+
+void fail_require(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace coincidence::detail

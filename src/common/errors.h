@@ -1,0 +1,46 @@
+// Error-handling primitives shared across the library.
+//
+// Protocol code distinguishes two failure classes:
+//  * programming errors / violated preconditions  -> COIN_REQUIRE (throws)
+//  * adversarial inputs (bad proofs, forged msgs) -> boolean/Result returns
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace coincidence {
+
+/// Thrown when a library precondition is violated by the caller.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a configuration is internally inconsistent (e.g. the
+/// epsilon/d windows of the paper are empty for the requested n).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed serialized data (truncated reader, bad tag...).
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_require(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace coincidence
+
+/// Precondition check that survives NDEBUG: protocol safety must not
+/// silently degrade in release benchmarking builds.
+#define COIN_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::coincidence::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)

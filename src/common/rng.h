@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in the simulation that needs randomness draws from an Rng
+// seeded explicitly, so every experiment is exactly reproducible from
+// (seed, parameters). We implement xoshiro256** (public-domain algorithm
+// by Blackman & Vigna) with a splitmix64 seeder — no dependence on the
+// platform's std::random_device / distribution implementations, which are
+// not reproducible across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace coincidence {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform draw in [0, bound) — bound must be > 0. Uses rejection
+  /// sampling (Lemire) so the result is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p);
+
+  /// Uniform random bytes.
+  std::vector<std::uint8_t> next_bytes(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each process /
+  /// adversary / workload its own stream from one experiment seed.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace coincidence

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace coincidence {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  COIN_REQUIRE(!sorted.empty(), "percentile of empty sample");
+  COIN_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of range");
+  if (sorted.size() == 1) return sorted[0];
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(idx));
+  auto hi = static_cast<std::size_t>(std::ceil(idx));
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(sq / static_cast<double>(s.count - 1)) : 0.0;
+  s.p50 = percentile_sorted(values, 0.50);
+  s.p90 = percentile_sorted(values, 0.90);
+  s.p99 = percentile_sorted(values, 0.99);
+  return s;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return {0.0, 1.0};
+  const double z = 1.959964;  // 95%
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (p + z2 / (2.0 * n)) / denom;
+  double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  COIN_REQUIRE(xs.size() == ys.size(), "fit_line: size mismatch");
+  COIN_REQUIRE(xs.size() >= 2, "fit_line: need at least two points");
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  COIN_REQUIRE(denom != 0.0, "fit_line: degenerate x values");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  return fit_line(lx, ly).slope;
+}
+
+void Histogram::add(std::uint64_t value) {
+  ++bins_[value];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::uint64_t value) const {
+  auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::uint64_t Histogram::max_value() const {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, count] : bins_) {
+    if (!first) os << ' ';
+    os << value << ':' << count;
+    first = false;
+  }
+  return os.str();
+}
+
+void Histogram::print(std::ostream& os, std::size_t width) const {
+  std::size_t peak = 0;
+  for (const auto& [value, count] : bins_) peak = std::max(peak, count);
+  if (peak == 0) return;
+  for (const auto& [value, count] : bins_) {
+    std::size_t bar = std::max<std::size_t>(1, count * width / peak);
+    os << value << " | " << std::string(bar, '#') << ' ' << count << '\n';
+  }
+}
+
+}  // namespace coincidence

@@ -1,0 +1,69 @@
+// Small statistics toolkit used by the benchmark harnesses: summary
+// statistics, percentiles, binomial confidence intervals and log-log
+// slope fits (to estimate empirical complexity exponents).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coincidence {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Full-pass summary of a sample (empty input yields all-zero Summary).
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Least-squares fit of y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Slope of log(y) vs log(x): the empirical growth exponent of y(x).
+/// Points with x <= 0 or y <= 0 are skipped.
+double loglog_slope(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Integer-valued histogram (rounds-to-decide distributions etc.).
+class Histogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::size_t total() const { return total_; }
+  std::size_t count(std::uint64_t value) const;
+  std::uint64_t max_value() const;
+
+  /// "0:12 1:5 3:1" — sorted, zero-count bins omitted.
+  std::string summary() const;
+  /// One bar row per bin, scaled to `width` characters.
+  void print(std::ostream& os, std::size_t width = 40) const;
+
+ private:
+  std::map<std::uint64_t, std::size_t> bins_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace coincidence

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace coincidence {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  COIN_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  COIN_REQUIRE(cells.size() == headers_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string Table::count(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(' ');
+    out.push_back(*it);
+    ++c;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace coincidence

@@ -1,0 +1,33 @@
+// ASCII table rendering for the benchmark harnesses, so every bench binary
+// prints the same aligned "paper table" style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coincidence {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-padded columns.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+  /// Formats an integer with thousands separators (1 234 567).
+  static std::string count(unsigned long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coincidence

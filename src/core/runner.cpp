@@ -1,0 +1,268 @@
+#include "core/runner.h"
+
+#include "ba/ba_process.h"
+#include "ba/ba_whp.h"
+#include "ba/ben_or.h"
+#include "ba/bracha.h"
+#include "ba/mmr.h"
+#include "coin/dealer_coin.h"
+#include "coin/shared_coin.h"
+#include "coin/whp_coin.h"
+#include "common/errors.h"
+#include "sim/simulation.h"
+
+namespace coincidence::core {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kBenOr: return "ben-or";
+    case Protocol::kMmrDealerCoin: return "rabin-dealer";
+    case Protocol::kBracha: return "bracha";
+    case Protocol::kMmrSharedCoin: return "mmr-vrf-coin";
+    case Protocol::kMmrWhpCoin: return "mmr-whp-coin";
+    case Protocol::kBaWhp: return "ba-whp";
+  }
+  return "unknown";
+}
+
+std::optional<Protocol> protocol_from_name(const std::string& name) {
+  for (Protocol p : all_protocols())
+    if (name == protocol_name(p)) return p;
+  return std::nullopt;
+}
+
+const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> kAll = {
+      Protocol::kBenOr, Protocol::kMmrDealerCoin, Protocol::kBracha,
+      Protocol::kMmrSharedCoin, Protocol::kMmrWhpCoin, Protocol::kBaWhp};
+  return kAll;
+}
+
+std::size_t min_n_for(Protocol p) {
+  switch (p) {
+    case Protocol::kBenOr: return 6;  // n > 5f with f = 1
+    case Protocol::kMmrDealerCoin:
+    case Protocol::kBracha:
+    case Protocol::kMmrSharedCoin: return 4;  // n > 3f with f = 1
+    // Committee protocols need W = ceil((2/3+3d)·8 ln n) <= n to be able
+    // to collect a quorum at all; n = 32 is the smallest comfortable size
+    // with the relaxed default parameters.
+    case Protocol::kMmrWhpCoin: return 32;
+    case Protocol::kBaWhp: return 32;
+  }
+  return 4;
+}
+
+const char* adversary_name(AdversaryKind a) {
+  switch (a) {
+    case AdversaryKind::kRandom: return "random";
+    case AdversaryKind::kFifo: return "fifo";
+    case AdversaryKind::kDelaySenders: return "delay-senders";
+    case AdversaryKind::kSplit: return "split";
+    case AdversaryKind::kHeavyTail: return "heavy-tail";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t resilience_f(Protocol p, std::size_t n, const Env& env) {
+  switch (p) {
+    case Protocol::kBenOr: return (n - 1) / 5;
+    case Protocol::kBracha:
+    case Protocol::kMmrSharedCoin:
+    case Protocol::kMmrWhpCoin:
+    case Protocol::kMmrDealerCoin: return (n - 1) / 3;
+    case Protocol::kBaWhp: return env.params.f;
+  }
+  return 0;
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const RunOptions& o,
+                                               std::size_t f) {
+  switch (o.adversary) {
+    case AdversaryKind::kRandom:
+      return std::make_unique<sim::RandomAdversary>();
+    case AdversaryKind::kFifo:
+      return std::make_unique<sim::FifoAdversary>();
+    case AdversaryKind::kDelaySenders: {
+      std::vector<sim::ProcessId> victims;
+      for (std::size_t i = 0; i < f && i < o.n; ++i)
+        victims.push_back(static_cast<sim::ProcessId>(i));
+      return std::make_unique<sim::DelaySendersAdversary>(std::move(victims));
+    }
+    case AdversaryKind::kSplit:
+      return std::make_unique<sim::SplitAdversary>(
+          static_cast<sim::ProcessId>(o.n / 2));
+    case AdversaryKind::kHeavyTail:
+      return std::make_unique<sim::HeavyTailAdversary>();
+  }
+  return std::make_unique<sim::RandomAdversary>();
+}
+
+}  // namespace
+
+RunReport run_agreement(const RunOptions& options) {
+  COIN_REQUIRE(options.n >= min_n_for(options.protocol),
+               "run_agreement: n below the protocol's minimum");
+
+  Env env = Env::make(options.n, options.epsilon, options.d,
+                      options.seed ^ 0x9e3779b97f4a7c15ULL,
+                      options.strict_params);
+  const std::size_t f = resilience_f(options.protocol, options.n, env);
+  const std::size_t faulty = options.crash + options.silent + options.junk;
+  COIN_REQUIRE(faulty <= f, "run_agreement: fault mix exceeds resilience f");
+
+  std::vector<ba::Value> inputs = options.inputs;
+  if (inputs.empty()) inputs.assign(options.n, ba::kZero);
+  COIN_REQUIRE(inputs.size() == options.n, "run_agreement: inputs size != n");
+
+  // Shared setup for the dealer-coin baseline (trusted dealer, §3).
+  std::shared_ptr<coin::DealerCoinSetup> dealer_setup;
+  if (options.protocol == Protocol::kMmrDealerCoin) {
+    dealer_setup = std::make_shared<coin::DealerCoinSetup>(
+        options.n, f, options.max_rounds, options.seed + 17);
+  }
+
+  auto make_process =
+      [&](sim::ProcessId /*id*/,
+          ba::Value input) -> std::unique_ptr<ba::BaProcess> {
+    switch (options.protocol) {
+      case Protocol::kBenOr: {
+        ba::BenOr::Config cfg;
+        cfg.n = options.n;
+        cfg.f = f;
+        cfg.max_rounds = options.max_rounds;
+        return std::make_unique<ba::BenOr>(cfg, input);
+      }
+      case Protocol::kBracha: {
+        ba::Bracha::Config cfg;
+        cfg.n = options.n;
+        cfg.f = f;
+        cfg.max_rounds = options.max_rounds;
+        return std::make_unique<ba::Bracha>(cfg, input);
+      }
+      case Protocol::kMmrSharedCoin: {
+        ba::Mmr::Config cfg;
+        cfg.tag = "mmr";
+        cfg.n = options.n;
+        cfg.f = f;
+        cfg.max_rounds = options.max_rounds;
+        cfg.make_coin = [env, n = options.n, f](std::uint64_t round,
+                                                const std::string& tag) {
+          coin::SharedCoin::Config ccfg;
+          ccfg.tag = tag;
+          ccfg.round = round;
+          ccfg.n = n;
+          ccfg.f = f;
+          ccfg.vrf = env.vrf;
+          ccfg.registry = env.registry;
+          return std::make_unique<coin::SharedCoin>(ccfg);
+        };
+        return std::make_unique<ba::Mmr>(cfg, input);
+      }
+      case Protocol::kMmrWhpCoin: {
+        ba::Mmr::Config cfg;
+        cfg.tag = "mmrw";
+        cfg.n = options.n;
+        cfg.f = f;
+        cfg.max_rounds = options.max_rounds;
+        cfg.make_coin = [env](std::uint64_t round, const std::string& tag) {
+          coin::WhpCoin::Config ccfg;
+          ccfg.tag = tag;
+          ccfg.round = round;
+          ccfg.params = env.params;
+          ccfg.vrf = env.vrf;
+          ccfg.registry = env.registry;
+          ccfg.sampler = env.sampler;
+          return std::make_unique<coin::WhpCoin>(ccfg);
+        };
+        return std::make_unique<ba::Mmr>(cfg, input);
+      }
+      case Protocol::kMmrDealerCoin: {
+        ba::Mmr::Config cfg;
+        cfg.tag = "rabin";
+        cfg.n = options.n;
+        cfg.f = f;
+        cfg.max_rounds = options.max_rounds;
+        cfg.make_coin = [dealer_setup](std::uint64_t round,
+                                       const std::string& tag) {
+          coin::DealerCoin::Config ccfg;
+          ccfg.tag = tag;
+          ccfg.round = round;
+          ccfg.setup = dealer_setup;
+          return std::make_unique<coin::DealerCoin>(ccfg);
+        };
+        return std::make_unique<ba::Mmr>(cfg, input);
+      }
+      case Protocol::kBaWhp: {
+        ba::BaWhp::Config cfg;
+        cfg.tag = "ba";
+        cfg.params = env.params;
+        cfg.vrf = env.vrf;
+        cfg.registry = env.registry;
+        cfg.sampler = env.sampler;
+        cfg.signer = env.signer;
+        cfg.max_rounds = options.max_rounds;
+        return std::make_unique<ba::BaWhp>(cfg, input);
+      }
+    }
+    throw PreconditionError("run_agreement: unknown protocol");
+  };
+
+  sim::SimConfig scfg;
+  scfg.n = options.n;
+  scfg.f = faulty;
+  scfg.seed = options.seed;
+  sim::Simulation sim(scfg);
+  for (sim::ProcessId i = 0; i < options.n; ++i)
+    sim.add_process(make_process(i, inputs[i]));
+  sim.set_adversary(make_adversary(options, f));
+
+  // Faults land on the highest ids.
+  sim::ProcessId next = static_cast<sim::ProcessId>(options.n);
+  for (std::size_t i = 0; i < options.crash; ++i)
+    sim.corrupt(--next, sim::FaultPlan::crash());
+  for (std::size_t i = 0; i < options.silent; ++i)
+    sim.corrupt(--next, sim::FaultPlan::silent());
+  for (std::size_t i = 0; i < options.junk; ++i)
+    sim.corrupt(--next, sim::FaultPlan::junk());
+
+  sim.start();
+  sim.run_until([&] {
+    for (sim::ProcessId i = 0; i < options.n; ++i) {
+      if (sim.is_corrupted(i)) continue;
+      if (!dynamic_cast<ba::BaProcess&>(sim.process(i)).decided())
+        return false;
+    }
+    return true;
+  });
+
+  RunReport report;
+  report.faulty = faulty;
+  report.protocol_f = f;
+  report.all_correct_decided = true;
+  report.agreement = true;
+  for (sim::ProcessId i = 0; i < options.n; ++i) {
+    if (sim.is_corrupted(i)) continue;
+    auto& p = dynamic_cast<ba::BaProcess&>(sim.process(i));
+    if (!p.decided()) {
+      report.all_correct_decided = false;
+      continue;
+    }
+    if (!report.decision) report.decision = p.decision();
+    if (*report.decision != p.decision()) report.agreement = false;
+    report.max_decided_round = std::max(report.max_decided_round,
+                                        p.decided_round());
+  }
+  if (!report.all_correct_decided) report.decision.reset();
+
+  report.correct_words = sim.metrics().correct_words();
+  report.messages = sim.metrics().messages_sent();
+  report.words_by_tag = sim.metrics().words_by_tag();
+  for (sim::ProcessId i = 0; i < options.n; ++i)
+    report.duration = std::max(report.duration, sim.depth_of(i));
+  return report;
+}
+
+}  // namespace coincidence::core

@@ -1,0 +1,89 @@
+// One-call experiment runner: pick a protocol, an adversary, a fault mix
+// and inputs; get back decisions + the paper's metrics. This is the
+// public API the examples and every bench binary drive.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ba/value.h"
+#include "core/env.h"
+#include "sim/fault.h"
+
+namespace coincidence::core {
+
+/// Every agreement protocol in the repo, including the Table-1 baselines.
+enum class Protocol {
+  kBaWhp,          // this paper: Algorithm 4 (committees + WHP coin)
+  kMmrSharedCoin,  // MMR skeleton + Algorithm 1 coin: O(n²), VRF-based
+  kMmrWhpCoin,     // ablation: MMR skeleton + Algorithm 2 committee coin —
+                   // isolates the coin's Õ(n) saving from the approver's
+                   // λ² overhead (see DESIGN.md §4). NOTE: its effective
+                   // resilience is the MIN of MMR's (n-1)/3 and the coin
+                   // committees' (1/3-ε)n — it is an instrumented hybrid,
+                   // not a protocol the paper claims.
+  kMmrDealerCoin,  // MMR skeleton + Rabin-style dealer coin
+  kBenOr,          // local coin, n > 5f
+  kBracha,         // local coin over reliable broadcast, n > 3f
+};
+
+const char* protocol_name(Protocol p);
+std::optional<Protocol> protocol_from_name(const std::string& name);
+/// All protocols, in Table-1 comparison order.
+const std::vector<Protocol>& all_protocols();
+/// Minimum n for which `p` can run with at least one tolerated fault.
+std::size_t min_n_for(Protocol p);
+
+enum class AdversaryKind {
+  kRandom,        // benign asynchrony
+  kFifo,          // synchronous-like delivery
+  kDelaySenders,  // starve the first f processes' messages
+  kSplit,         // delay cross-partition traffic
+  kHeavyTail,     // Pareto message delays (WAN-like stragglers)
+};
+
+const char* adversary_name(AdversaryKind a);
+
+struct RunOptions {
+  Protocol protocol = Protocol::kBaWhp;
+  std::size_t n = 64;
+  std::uint64_t seed = 1;
+  /// Inputs per process; sized n (default: all zero).
+  std::vector<ba::Value> inputs;
+
+  // Parameters for the committee-based protocols.
+  double epsilon = 0.25;
+  double d = 0.02;
+  bool strict_params = false;
+
+  AdversaryKind adversary = AdversaryKind::kRandom;
+
+  /// Fault mix, applied to the highest process ids (so inputs of low ids
+  /// stay meaningful). Total must stay within the protocol's resilience.
+  std::size_t crash = 0;
+  std::size_t silent = 0;
+  std::size_t junk = 0;
+
+  std::uint64_t max_rounds = 64;
+};
+
+struct RunReport {
+  bool all_correct_decided = false;
+  bool agreement = false;               // no two correct decided differently
+  std::optional<int> decision;          // the unanimous decision, if any
+  std::uint64_t max_decided_round = 0;  // paper "constant expected rounds"
+  std::uint64_t correct_words = 0;      // paper word complexity
+  std::uint64_t messages = 0;
+  std::uint64_t duration = 0;  // longest causal chain (paper "time")
+  std::map<std::string, std::uint64_t> words_by_tag;
+  std::size_t faulty = 0;
+  std::size_t protocol_f = 0;  // the f the protocol was configured with
+};
+
+/// Runs one agreement instance to completion (or whp-failure quiescence).
+RunReport run_agreement(const RunOptions& options);
+
+}  // namespace coincidence::core

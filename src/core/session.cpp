@@ -1,0 +1,123 @@
+#include "core/session.h"
+
+#include "ba/ba_whp.h"
+#include "ba/instance_mux.h"
+#include "common/errors.h"
+#include "sim/observer.h"
+#include "sim/simulation.h"
+
+namespace coincidence::core {
+
+namespace {
+
+/// Attributes correct-sender words to the slot named by the first tag
+/// segment — the per-slot cost split SessionReport exposes.
+class SlotWordObserver final : public sim::Observer {
+ public:
+  explicit SlotWordObserver(std::size_t slots) : words_(slots, 0) {}
+
+  void on_send(const sim::Message& msg, bool sender_correct) override {
+    if (!sender_correct) return;
+    // Tags look like "slot<k>/..."; parse k.
+    constexpr std::size_t kPrefixLen = 4;  // "slot"
+    if (msg.tag.size() <= kPrefixLen ||
+        msg.tag.compare(0, kPrefixLen, "slot") != 0)
+      return;
+    std::size_t k = 0;
+    std::size_t i = kPrefixLen;
+    bool any = false;
+    while (i < msg.tag.size() && msg.tag[i] >= '0' && msg.tag[i] <= '9') {
+      k = k * 10 + static_cast<std::size_t>(msg.tag[i] - '0');
+      ++i;
+      any = true;
+    }
+    if (any && k < words_.size()) words_[k] += msg.words;
+  }
+
+  std::uint64_t words_of(std::size_t slot) const { return words_.at(slot); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace
+
+Session::Session(Env env) : env_(std::move(env)) {}
+
+SessionReport Session::run_concurrent_slots(
+    const std::vector<std::vector<ba::Value>>& inputs, std::uint64_t seed,
+    std::size_t silent_faults, std::uint64_t max_rounds) {
+  const std::size_t slots = inputs.size();
+  const std::size_t n = env_.n();
+  COIN_REQUIRE(slots > 0, "Session: need at least one slot");
+  for (const auto& slot_inputs : inputs)
+    COIN_REQUIRE(slot_inputs.size() == n, "Session: inputs size != n");
+  COIN_REQUIRE(silent_faults <= std::max<std::size_t>(env_.f(), 0),
+               "Session: faults exceed f");
+
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.f = silent_faults;
+  cfg.seed = seed;
+  sim::Simulation sim(cfg);
+  auto slot_words = std::make_shared<SlotWordObserver>(slots);
+  sim.add_observer(slot_words);
+
+  for (sim::ProcessId i = 0; i < n; ++i) {
+    auto mux = std::make_unique<ba::InstanceMux>();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      ba::BaWhp::Config bcfg;
+      bcfg.tag = "slot" + std::to_string(slot);
+      bcfg.params = env_.params;
+      bcfg.vrf = env_.vrf;
+      bcfg.registry = env_.registry;
+      bcfg.sampler = env_.sampler;
+      bcfg.signer = env_.signer;
+      bcfg.max_rounds = max_rounds;
+      mux->add_instance("slot" + std::to_string(slot),
+                        std::make_unique<ba::BaWhp>(bcfg, inputs[slot][i]));
+    }
+    sim.add_process(std::move(mux));
+  }
+  sim::ProcessId next = static_cast<sim::ProcessId>(n);
+  for (std::size_t i = 0; i < silent_faults; ++i)
+    sim.corrupt(--next, sim::FaultPlan::silent());
+
+  sim.start();
+  sim.run_until([&] {
+    for (sim::ProcessId i = 0; i < n; ++i) {
+      if (sim.is_corrupted(i)) continue;
+      if (!dynamic_cast<ba::InstanceMux&>(sim.process(i)).all_decided())
+        return false;
+    }
+    return true;
+  });
+
+  SessionReport report;
+  report.slots.resize(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    SlotReport& sr = report.slots[slot];
+    sr.all_correct_decided = true;
+    for (sim::ProcessId i = 0; i < n; ++i) {
+      if (sim.is_corrupted(i)) continue;
+      auto& mux = dynamic_cast<ba::InstanceMux&>(sim.process(i));
+      auto& ba = mux.instance("slot" + std::to_string(slot));
+      if (!ba.decided()) {
+        sr.all_correct_decided = false;
+        continue;
+      }
+      if (!sr.decision) sr.decision = ba.decision();
+      if (*sr.decision != ba.decision()) sr.agreement = false;
+      sr.max_decided_round = std::max(sr.max_decided_round, ba.decided_round());
+    }
+    if (!sr.all_correct_decided) sr.decision.reset();
+    sr.correct_words = slot_words->words_of(slot);
+  }
+  report.correct_words = sim.metrics().correct_words();
+  report.messages = sim.metrics().messages_sent();
+  for (sim::ProcessId i = 0; i < n; ++i)
+    report.duration = std::max(report.duration, sim.depth_of(i));
+  return report;
+}
+
+}  // namespace coincidence::core

@@ -1,0 +1,61 @@
+// Multi-instance agreement sessions over a single trusted setup.
+//
+// The paper (§3, comparison with Blum et al.) emphasizes that its setup —
+// the PKI — "has to occur once and may be used for any number of BA
+// instances". Session packages that: one Env (keys, VRF, sampler), any
+// number of agreement slots, run either concurrently inside one
+// simulation (one network, messages of all slots interleaved by the
+// adversary) or as a convenience loop of independent instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ba/value.h"
+#include "core/env.h"
+#include "core/runner.h"
+
+namespace coincidence::core {
+
+struct SlotReport {
+  bool all_correct_decided = false;
+  std::optional<int> decision;
+  bool agreement = true;
+  std::uint64_t max_decided_round = 0;
+  std::uint64_t correct_words = 0;  // attributed by slot tag prefix
+};
+
+struct SessionReport {
+  std::vector<SlotReport> slots;
+  std::uint64_t correct_words = 0;   // across all slots
+  std::uint64_t messages = 0;
+  std::uint64_t duration = 0;
+
+  bool all_slots_decided() const {
+    for (const auto& s : slots)
+      if (!s.all_correct_decided) return false;
+    return !slots.empty();
+  }
+};
+
+class Session {
+ public:
+  /// One setup, reused by every slot (the §3 property).
+  explicit Session(Env env);
+
+  /// Runs `inputs.size()` BA-WHP instances *concurrently* in a single
+  /// simulation: every process participates in all slots at once;
+  /// inputs[slot][process] is its proposal for that slot. Committee seeds
+  /// derive from the slot tag, so each slot gets fresh committees from
+  /// the same keys.
+  SessionReport run_concurrent_slots(
+      const std::vector<std::vector<ba::Value>>& inputs, std::uint64_t seed,
+      std::size_t silent_faults = 0, std::uint64_t max_rounds = 32);
+
+  const Env& env() const { return env_; }
+
+ private:
+  Env env_;
+};
+
+}  // namespace coincidence::core

@@ -1,0 +1,41 @@
+// DDH-based VRF with a Chaum–Pedersen DLEQ proof (the classic
+// construction behind ECVRF, instantiated over a safe-prime QR group):
+//
+//   keygen:  sk ∈ [1, q),  pk = g^sk
+//   eval(x): h = H1(x), Γ = h^sk, y = H2(Γ)
+//            proof: deterministic nonce k (RFC 6979 style),
+//                   a = g^k, b = h^k, c = H3(g,h,pk,Γ,a,b), s = k − c·sk
+//   verify:  a' = g^s · pk^c, b' = h^s · Γ^c,
+//            accept iff Γ ∈ G, c = H3(g,h,pk,Γ,a',b'), y = H2(Γ)
+//
+// Uniqueness holds because Γ = h^sk is a function of (pk, x) and H2 is
+// deterministic; the subgroup check Γ^q = 1 closes the small-order escape
+// hatch in the safe-prime setting.
+#pragma once
+
+#include "crypto/prime_group.h"
+#include "crypto/vrf.h"
+
+namespace coincidence::crypto {
+
+class DdhVrf final : public Vrf {
+ public:
+  explicit DdhVrf(PrimeGroup group);
+
+  VrfKeyPair keygen(Rng& rng) const override;
+  VrfOutput eval(BytesView sk, BytesView input) const override;
+  bool verify(BytesView pk, BytesView input,
+              const VrfOutput& out) const override;
+  std::size_t value_size() const override { return 32; }
+  const char* name() const override { return "ddh-vrf"; }
+
+  const PrimeGroup& group() const { return group_; }
+
+ private:
+  Bignum challenge(const Bignum& h, const Bignum& pk, const Bignum& gamma,
+                   const Bignum& a, const Bignum& b) const;
+
+  PrimeGroup group_;
+};
+
+}  // namespace coincidence::crypto

@@ -1,0 +1,39 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1) and HMAC-DRBG (SP 800-90A).
+//
+// HMAC authenticates simulated-PKI messages (see Signer) and keys the
+// FastVrf; the DRBG turns VRF outputs into arbitrary-length pseudorandom
+// streams (e.g. committee-sampling thresholds).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace coincidence::crypto {
+
+/// One-shot HMAC-SHA-256.
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// One-shot HMAC-SHA-256 returning Bytes.
+Bytes hmac_sha256_bytes(BytesView key, BytesView message);
+
+/// Deterministic random bit generator per SP 800-90A HMAC_DRBG
+/// (no reseeding; the simulator never generates more than 2^19 bits
+/// per instantiation).
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(BytesView seed);
+
+  /// Next `n` pseudorandom bytes.
+  Bytes generate(std::size_t n);
+
+  /// Next uniform u64 (first 8 bytes of a generate(8) call).
+  std::uint64_t next_u64();
+
+ private:
+  void update(BytesView provided);
+
+  Bytes key_;
+  Bytes value_;
+};
+
+}  // namespace coincidence::crypto

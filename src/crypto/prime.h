@@ -1,0 +1,31 @@
+// Primality testing and safe-prime generation.
+//
+// Used once at setup time to produce the group of the DDH VRF. Provides
+// Miller–Rabin with both fixed small bases and DRBG-derived random bases,
+// and a deterministic (seeded) safe-prime search so tests can regenerate
+// identical groups. The RFC 3526 1536-bit MODP prime is shipped as the
+// default production-size group modulus.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.h"
+
+namespace coincidence::crypto {
+
+/// Miller–Rabin with `rounds` random bases derived deterministically from
+/// `n` (plus fixed bases 2, 3). Error probability <= 4^-rounds.
+bool is_probable_prime(const Bignum& n, int rounds = 32);
+
+/// Searches for a safe prime p = 2q + 1 with exactly `bits` bits, starting
+/// from a candidate derived from `seed` (deterministic). `bits` >= 16.
+struct SafePrime {
+  Bignum p;  // the safe prime
+  Bignum q;  // (p-1)/2, also prime
+};
+SafePrime generate_safe_prime(std::size_t bits, std::uint64_t seed);
+
+/// RFC 3526 group 5 modulus (1536-bit safe prime), for production-size use.
+const Bignum& rfc3526_prime_1536();
+
+}  // namespace coincidence::crypto

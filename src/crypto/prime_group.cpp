@@ -1,0 +1,71 @@
+#include "crypto/prime_group.h"
+
+#include "common/errors.h"
+#include "crypto/hmac.h"
+#include "crypto/prime.h"
+
+namespace coincidence::crypto {
+
+PrimeGroup::PrimeGroup(Bignum p, Bignum q, Bignum g)
+    : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)) {
+  byte_len_ = (p_.bit_length() + 7) / 8;
+}
+
+PrimeGroup PrimeGroup::from_safe_prime(const Bignum& p) {
+  if (!p.is_odd() || p.bit_length() < 16)
+    throw ConfigError("PrimeGroup: modulus too small or even");
+  Bignum q = (p - Bignum(1)) >> 1;
+  if (!is_probable_prime(p, 16) || !is_probable_prime(q, 16))
+    throw ConfigError("PrimeGroup: p is not a safe prime");
+  return PrimeGroup(p, q, Bignum(4));
+}
+
+PrimeGroup PrimeGroup::generate(std::size_t bits, std::uint64_t seed) {
+  SafePrime sp = generate_safe_prime(bits, seed);
+  return PrimeGroup(sp.p, sp.q, Bignum(4));
+}
+
+PrimeGroup PrimeGroup::rfc3526_1536() {
+  const Bignum& p = rfc3526_prime_1536();
+  Bignum q = (p - Bignum(1)) >> 1;
+  return PrimeGroup(p, q, Bignum(4));
+}
+
+Bignum PrimeGroup::exp(const Bignum& base, const Bignum& e) const {
+  return Bignum::mod_exp(base, e, p_);
+}
+
+Bignum PrimeGroup::mul(const Bignum& a, const Bignum& b) const {
+  return Bignum::mul_mod(a, b, p_);
+}
+
+Bignum PrimeGroup::inv(const Bignum& a) const {
+  return Bignum::mod_inv(a, p_);
+}
+
+bool PrimeGroup::is_element(const Bignum& x) const {
+  if (x.is_zero() || x >= p_) return false;
+  return exp(x, q_) == Bignum(1);
+}
+
+Bignum PrimeGroup::hash_to_group(BytesView input) const {
+  Bytes seed = concat({bytes_of("h2g"), input});
+  HmacDrbg drbg(seed);
+  for (;;) {
+    Bignum r = Bignum::from_bytes_be(drbg.generate(byte_len_ + 8)) % p_;
+    Bignum h = mul(r, r);  // squares are exactly the QR subgroup
+    if (h != Bignum() && h != Bignum(1)) return h;
+  }
+}
+
+Bignum PrimeGroup::hash_to_scalar(BytesView input) const {
+  Bytes seed = concat({bytes_of("h2s"), input});
+  HmacDrbg drbg(seed);
+  return Bignum::from_bytes_be(drbg.generate(byte_len_ + 8)) % q_;
+}
+
+Bytes PrimeGroup::encode(const Bignum& x) const {
+  return x.to_bytes_be(byte_len_);
+}
+
+}  // namespace coincidence::crypto

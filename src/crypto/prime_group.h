@@ -1,0 +1,67 @@
+// The prime-order group underlying the DDH VRF.
+//
+// For a safe prime p = 2q + 1 the quadratic residues of Z_p* form a
+// subgroup of prime order q; g = 4 = 2^2 is always a quadratic residue and
+// (being != 1) generates it. Hashing into the group is exact: square a
+// pseudorandom field element. This gives a textbook DDH-hard group with
+// honest hash-to-group — the standard setting for the Chaum–Pedersen DLEQ
+// proof used by the VRF.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+
+namespace coincidence::crypto {
+
+class PrimeGroup {
+ public:
+  /// Builds the group from a safe prime. Verifies (probabilistically) that
+  /// p and (p-1)/2 are prime; throws ConfigError otherwise.
+  static PrimeGroup from_safe_prime(const Bignum& p);
+
+  /// Deterministically generates a fresh safe-prime group of `bits` bits.
+  static PrimeGroup generate(std::size_t bits, std::uint64_t seed);
+
+  /// The RFC 3526 1536-bit group (primality assumed, not re-verified, so
+  /// construction is instant).
+  static PrimeGroup rfc3526_1536();
+
+  const Bignum& p() const { return p_; }
+  const Bignum& q() const { return q_; }  // group order
+  const Bignum& g() const { return g_; }  // generator of the QR subgroup
+
+  /// g^e mod p.
+  Bignum exp_g(const Bignum& e) const { return exp(g_, e); }
+  /// b^e mod p.
+  Bignum exp(const Bignum& base, const Bignum& e) const;
+  /// a*b mod p.
+  Bignum mul(const Bignum& a, const Bignum& b) const;
+  /// Multiplicative inverse mod p.
+  Bignum inv(const Bignum& a) const;
+
+  /// True iff x is a group element: 1 <= x < p and x^q == 1.
+  bool is_element(const Bignum& x) const;
+
+  /// Hash-to-group: expands `input` with HMAC-DRBG to a field element and
+  /// squares it; retries (never observed beyond one retry) on 0/1.
+  Bignum hash_to_group(BytesView input) const;
+
+  /// Reduces a hash expansion of `input` into a scalar in [0, q).
+  Bignum hash_to_scalar(BytesView input) const;
+
+  /// Fixed-width big-endian encoding of a field element (byte_len() bytes).
+  Bytes encode(const Bignum& x) const;
+  std::size_t byte_len() const { return byte_len_; }
+
+ private:
+  PrimeGroup(Bignum p, Bignum q, Bignum g);
+
+  Bignum p_;
+  Bignum q_;
+  Bignum g_;
+  std::size_t byte_len_ = 0;
+};
+
+}  // namespace coincidence::crypto

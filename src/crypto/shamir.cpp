@@ -1,0 +1,96 @@
+#include "crypto/shamir.h"
+
+#include <set>
+
+#include "common/errors.h"
+
+namespace coincidence::crypto {
+
+std::uint64_t Field61::reduce(std::uint64_t x) {
+  x = (x & kP) + (x >> 61);
+  if (x >= kP) x -= kP;
+  return x;
+}
+
+std::uint64_t Field61::add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // a,b < 2^61 so no overflow in 64 bits
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+std::uint64_t Field61::sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+std::uint64_t Field61::mul(std::uint64_t a, std::uint64_t b) {
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  // prod < 2^122; fold the high 61-bit chunk twice.
+  std::uint64_t lo = static_cast<std::uint64_t>(prod & kP);
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce(lo + reduce(hi));
+}
+
+std::uint64_t Field61::pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = reduce(base);
+  while (exp > 0) {
+    if (exp & 1) result = mul(result, b);
+    b = mul(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t Field61::inv(std::uint64_t a) {
+  COIN_REQUIRE(reduce(a) != 0, "Field61: inverse of zero");
+  return pow(a, kP - 2);
+}
+
+std::vector<Share> shamir_share(std::uint64_t secret, std::size_t n,
+                                std::size_t t, Rng& rng) {
+  COIN_REQUIRE(secret < Field61::kP, "shamir_share: secret out of field");
+  COIN_REQUIRE(t < n, "shamir_share: threshold must be below n");
+  COIN_REQUIRE(n < Field61::kP, "shamir_share: too many shares");
+
+  std::vector<std::uint64_t> coeffs(t + 1);
+  coeffs[0] = secret;
+  for (std::size_t i = 1; i <= t; ++i)
+    coeffs[i] = rng.next_below(Field61::kP);
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    // Horner evaluation at x = i.
+    std::uint64_t x = static_cast<std::uint64_t>(i);
+    std::uint64_t y = 0;
+    for (std::size_t c = t + 1; c-- > 0;) y = Field61::add(Field61::mul(y, x), coeffs[c]);
+    shares.push_back({x, y});
+  }
+  return shares;
+}
+
+std::uint64_t shamir_reconstruct(const std::vector<Share>& shares) {
+  COIN_REQUIRE(!shares.empty(), "shamir_reconstruct: no shares");
+  std::set<std::uint64_t> xs;
+  for (const auto& s : shares) {
+    COIN_REQUIRE(s.x != 0 && s.x < Field61::kP, "shamir: bad share point");
+    COIN_REQUIRE(xs.insert(s.x).second, "shamir: duplicate share point");
+  }
+
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint64_t num = 1, den = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      num = Field61::mul(num, shares[j].x);  // (0 - x_j) up to sign…
+      den = Field61::mul(den, Field61::sub(shares[j].x, shares[i].x));
+    }
+    // …signs cancel pairwise between numerator and denominator:
+    // prod(0-x_j)/prod(x_i-x_j) = prod(x_j)/prod(x_j-x_i).
+    std::uint64_t li = Field61::mul(num, Field61::inv(den));
+    secret = Field61::add(secret, Field61::mul(shares[i].y, li));
+  }
+  return secret;
+}
+
+}  // namespace coincidence::crypto

@@ -1,0 +1,45 @@
+// Shamir secret sharing over GF(2^61 − 1).
+//
+// Substrate for the Rabin-style baseline: Rabin's shared coin [33] assumes
+// a trusted dealer who pre-deals shares of coin values; we reproduce that
+// with textbook Shamir sharing (random degree-t polynomial, Lagrange
+// interpolation at 0). The Mersenne prime 2^61−1 keeps field arithmetic in
+// unsigned 128-bit intermediates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coincidence::crypto {
+
+/// GF(p) with p = 2^61 - 1 (Mersenne): add/sub/mul/inv/pow.
+class Field61 {
+ public:
+  static constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+  static std::uint64_t reduce(std::uint64_t x);
+  static std::uint64_t add(std::uint64_t a, std::uint64_t b);
+  static std::uint64_t sub(std::uint64_t a, std::uint64_t b);
+  static std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+  static std::uint64_t pow(std::uint64_t base, std::uint64_t exp);
+  /// Inverse via Fermat; requires a != 0.
+  static std::uint64_t inv(std::uint64_t a);
+};
+
+struct Share {
+  std::uint64_t x;  // evaluation point (1-based process index)
+  std::uint64_t y;  // polynomial value
+};
+
+/// Splits `secret` into n shares with reconstruction threshold t+1
+/// (polynomial degree t). Requires 0 <= secret < p, t < n.
+std::vector<Share> shamir_share(std::uint64_t secret, std::size_t n,
+                                std::size_t t, Rng& rng);
+
+/// Lagrange interpolation at x=0 over exactly t+1 distinct shares.
+/// Any t+1 valid shares reconstruct; fewer reveal nothing.
+std::uint64_t shamir_reconstruct(const std::vector<Share>& shares);
+
+}  // namespace coincidence::crypto

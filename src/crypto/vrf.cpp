@@ -1,0 +1,17 @@
+#include "crypto/vrf.h"
+
+#include "common/errors.h"
+
+namespace coincidence::crypto {
+
+std::uint64_t vrf_value_as_u64(BytesView value) {
+  COIN_REQUIRE(value.size() >= 8, "vrf value too short");
+  return u64_of_bytes(value);
+}
+
+double vrf_value_as_unit_double(BytesView value) {
+  // 53 bits of the value, same construction as Rng::next_double.
+  return static_cast<double>(vrf_value_as_u64(value) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace coincidence::crypto

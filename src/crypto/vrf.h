@@ -1,0 +1,63 @@
+// The VRF abstraction of §2: y,π = VRF_sk(x) with
+//   * pseudorandomness  — y is indistinguishable from random without sk,
+//   * verifiability     — VRF-Ver_pk(x, (y,π)) = true for honest output,
+//   * uniqueness        — no two (y1,π1) != (y2,π2) both verify for one x.
+//
+// Two interchangeable implementations:
+//   DdhVrf  — real cryptography (Chaum–Pedersen DLEQ over a safe-prime QR
+//             group); use for the crypto test-suite and micro-benches.
+//   FastVrf — HMAC-SHA-256 keyed by sk, verified against the simulated
+//             PKI (KeyRegistry); O(1) per call so protocol benches can
+//             sweep n into the hundreds. Same three properties hold within
+//             the simulation's trust model (the registry *is* the PKI).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace coincidence::crypto {
+
+struct VrfKeyPair {
+  Bytes sk;
+  Bytes pk;
+};
+
+struct VrfOutput {
+  Bytes value;  // the pseudorandom output y (32 bytes for both backends)
+  Bytes proof;  // the correctness proof π
+};
+
+class Vrf {
+ public:
+  virtual ~Vrf() = default;
+
+  /// Generates a keypair from caller-supplied randomness.
+  virtual VrfKeyPair keygen(Rng& rng) const = 0;
+
+  /// Evaluates VRF_sk(x).
+  virtual VrfOutput eval(BytesView sk, BytesView input) const = 0;
+
+  /// Checks VRF-Ver_pk(x, (y, π)).
+  virtual bool verify(BytesView pk, BytesView input,
+                      const VrfOutput& out) const = 0;
+
+  /// Length in bytes of the output value y.
+  virtual std::size_t value_size() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Interprets the first 8 bytes of a VRF value as a big-endian integer —
+/// the total order the shared coin minimizes over. Collisions across 2^64
+/// are negligible at simulation scale; ties are additionally broken by the
+/// full value bytes then sender id in protocol code.
+std::uint64_t vrf_value_as_u64(BytesView value);
+
+/// Maps a VRF value to a uniform double in [0,1) — committee sampling uses
+/// this to compare against the λ/n election threshold.
+double vrf_value_as_unit_double(BytesView value);
+
+}  // namespace coincidence::crypto

@@ -1,0 +1,216 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::sim {
+
+namespace detail {
+
+std::size_t pick_avoiding(const PendingPool& pending, Rng& rng,
+                          const std::unordered_set<ProcessId>& avoid) {
+  if (avoid.empty())
+    return static_cast<std::size_t>(rng.next_below(pending.size()));
+  // Rejection sampling first (cheap when few senders are starved)…
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    auto i = static_cast<std::size_t>(rng.next_below(pending.size()));
+    if (avoid.count(pending.from(i)) == 0) return i;
+  }
+  // …then an exact scan.
+  std::vector<std::size_t> ok;
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    if (avoid.count(pending.from(i)) == 0) ok.push_back(i);
+  if (ok.empty())
+    return static_cast<std::size_t>(rng.next_below(pending.size()));
+  return ok[rng.next_below(ok.size())];
+}
+
+}  // namespace detail
+
+std::size_t FifoAdversary::schedule(const PendingPool& pending, Rng& /*rng*/) {
+  return pending.oldest_index();
+}
+
+std::size_t RandomAdversary::schedule(const PendingPool& pending, Rng& rng) {
+  return static_cast<std::size_t>(rng.next_below(pending.size()));
+}
+
+DelaySendersAdversary::DelaySendersAdversary(std::vector<ProcessId> victims,
+                                             bool ordered)
+    : victims_(victims.begin(), victims.end()), ordered_(ordered) {}
+
+std::size_t DelaySendersAdversary::schedule(const PendingPool& pending,
+                                            Rng& rng) {
+  if (!ordered_) return detail::pick_avoiding(pending, rng, victims_);
+  // Ordered mode: any non-victim first; otherwise the victim with the
+  // smallest id (globally consistent release order).
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    auto i = static_cast<std::size_t>(rng.next_below(pending.size()));
+    if (victims_.count(pending.from(i)) == 0) return i;
+  }
+  std::size_t best = pending.size();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (victims_.count(pending.from(i)) == 0) return i;
+    if (best == pending.size() || pending.from(i) < pending.from(best))
+      best = i;
+  }
+  return best;
+}
+
+SplitAdversary::SplitAdversary(ProcessId boundary) : boundary_(boundary) {}
+
+std::size_t SplitAdversary::schedule(const PendingPool& pending, Rng& rng) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    auto i = static_cast<std::size_t>(rng.next_below(pending.size()));
+    bool cross = (pending.from(i) < boundary_) != (pending.to(i) < boundary_);
+    if (!cross) return i;
+  }
+  std::vector<std::size_t> intra;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    bool cross = (pending.from(i) < boundary_) != (pending.to(i) < boundary_);
+    if (!cross) intra.push_back(i);
+  }
+  if (intra.empty())
+    return static_cast<std::size_t>(rng.next_below(pending.size()));
+  return intra[rng.next_below(intra.size())];
+}
+
+HeavyTailAdversary::HeavyTailAdversary(double alpha) : alpha_(alpha) {
+  COIN_REQUIRE(alpha > 0.0, "HeavyTailAdversary: alpha must be positive");
+}
+
+std::size_t HeavyTailAdversary::schedule(const PendingPool& pending,
+                                         Rng& rng) {
+  // Lazily assign each message a Pareto(alpha) weight on first sight and
+  // always deliver the lightest. Weights persist, so a heavy message
+  // stays delayed until the fairness bound rescues it.
+  std::size_t best = 0;
+  double best_w = 0.0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto [it, inserted] = weight_.try_emplace(pending.send_seq(i), 0.0);
+    if (inserted) {
+      double u = rng.next_double();
+      if (u < 1e-12) u = 1e-12;
+      it->second = std::pow(u, -1.0 / alpha_);  // Pareto with x_m = 1
+    }
+    if (i == 0 || it->second < best_w) {
+      best = i;
+      best_w = it->second;
+    }
+  }
+  return best;
+}
+
+StaticCorruptionAdversary::StaticCorruptionAdversary(
+    std::vector<ProcessId> targets, FaultPlan plan)
+    : targets_(std::move(targets)), plan_(std::move(plan)) {}
+
+std::size_t StaticCorruptionAdversary::schedule(const PendingPool& pending,
+                                                Rng& rng) {
+  return static_cast<std::size_t>(rng.next_below(pending.size()));
+}
+
+std::vector<CorruptionRequest> StaticCorruptionAdversary::corrupt_now(
+    Rng& /*rng*/) {
+  if (fired_) return {};
+  fired_ = true;
+  std::vector<CorruptionRequest> out;
+  out.reserve(targets_.size());
+  for (ProcessId t : targets_) out.push_back({t, plan_});
+  return out;
+}
+
+CommitteeHunterAdversary::CommitteeHunterAdversary(std::string tag_substring,
+                                                   FaultPlan plan)
+    : tag_substring_(std::move(tag_substring)), plan_(std::move(plan)) {}
+
+std::size_t CommitteeHunterAdversary::schedule(const PendingPool& pending,
+                                               Rng& rng) {
+  return static_cast<std::size_t>(rng.next_below(pending.size()));
+}
+
+void CommitteeHunterAdversary::observe_delivery(const Message& msg) {
+  if (!tag_substring_.empty() &&
+      msg.tag.find(tag_substring_) == std::string::npos)
+    return;
+  if (requested_.insert(msg.from).second) queue_.push_back(msg.from);
+}
+
+std::vector<CorruptionRequest> CommitteeHunterAdversary::corrupt_now(
+    Rng& /*rng*/) {
+  std::vector<CorruptionRequest> out;
+  out.reserve(queue_.size());
+  for (ProcessId p : queue_) out.push_back({p, plan_});
+  queue_.clear();
+  return out;
+}
+
+CoinBiasAdversary::CoinBiasAdversary(std::string tag_substring,
+                                     int desired_bit)
+    : tag_substring_(std::move(tag_substring)), desired_bit_(desired_bit) {}
+
+std::size_t CoinBiasAdversary::schedule(const PendingPool& pending,
+                                        Rng& rng) {
+  if (starved_.empty())
+    return static_cast<std::size_t>(rng.next_below(pending.size()));
+  // Prefer any non-starved message…
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    auto i = static_cast<std::size_t>(rng.next_below(pending.size()));
+    if (starved_.count(pending.from(i)) == 0) return i;
+  }
+  std::size_t best = pending.size();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (starved_.count(pending.from(i)) == 0) return i;
+    if (best == pending.size()) {
+      best = i;
+      continue;
+    }
+    // …otherwise release the starved sender with the LARGEST value.
+    auto vi = value_of_.find(pending.from(i));
+    auto vb = value_of_.find(pending.from(best));
+    std::uint64_t a = vi == value_of_.end() ? 0 : vi->second;
+    std::uint64_t b = vb == value_of_.end() ? 0 : vb->second;
+    if (a > b) best = i;
+  }
+  return best;
+}
+
+void CoinBiasAdversary::observe_pending_content(const Message& msg) {
+  if (msg.tag.find(tag_substring_) == std::string::npos) return;
+  // Coin messages serialize the VRF value as their first blob; the coin
+  // outputs the LSB of the minimum value, i.e. the value's last byte & 1.
+  try {
+    Reader r(msg.payload);
+    Bytes value = r.blob();
+    if (value.size() < 8) return;
+    int lsb = value.back() & 1;
+    value_of_.emplace(msg.from, u64_of_bytes(value));
+    if (lsb != desired_bit_) starved_.insert(msg.from);
+  } catch (const CodecError&) {
+    // Not a coin-shaped payload; skip.
+  }
+}
+
+std::vector<CorruptionRequest> CoinBiasAdversary::corrupt_now(Rng& /*rng*/) {
+  // The runtime grants requests in order until the budget runs out, so
+  // ask for the *smallest-value* wrong-bit holders first: those are the
+  // senders whose relayed minima would leak the hidden small values.
+  std::vector<std::pair<std::uint64_t, ProcessId>> ranked;
+  for (ProcessId p : starved_) {
+    if (requested_.count(p)) continue;
+    auto it = value_of_.find(p);
+    ranked.push_back({it == value_of_.end() ? ~0ULL : it->second, p});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<CorruptionRequest> out;
+  for (const auto& [value, p] : ranked) {
+    requested_.insert(p);
+    out.push_back({p, FaultPlan::silent()});
+  }
+  return out;
+}
+
+}  // namespace coincidence::sim

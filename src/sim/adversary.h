@@ -1,0 +1,201 @@
+// The delayed-adaptive adversary (Definition 2.1) as a scheduling +
+// corruption strategy interface.
+//
+// Model enforcement is structural: a legal adversary schedules from the
+// PendingPool's metadata view (no payload access) and learns content only
+// through observe_delivery — i.e. once a message has been delivered and
+// is part of the causal past. That is exactly the paper's rule "the
+// adversary can use the contents of m for scheduling m' only if m → m'".
+// The runtime additionally enforces the corruption budget f, eventual
+// delivery (a fairness bound), and no-front-running (a corrupted
+// process's already-sent messages cannot be retracted — cf. the Blum et
+// al. key-deletion argument cited in §2).
+//
+// The *illegal* content-aware adversary used by the E6 ablation bench
+// overrides observe_pending_content, which the runtime only feeds when
+// SimConfig.allow_content_visibility is set — deliberately stepping
+// outside the model to demonstrate why the assumption is needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/fault.h"
+#include "sim/message.h"
+#include "sim/pending_pool.h"
+
+namespace coincidence::sim {
+
+struct CorruptionRequest {
+  ProcessId target;
+  FaultPlan plan;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Chooses the index (into `pending`, never empty) of the next message
+  /// to deliver. The runtime may override the choice to enforce the
+  /// fairness bound.
+  virtual std::size_t schedule(const PendingPool& pending, Rng& rng) = 0;
+
+  /// Full content of a just-delivered message: now causally public.
+  virtual void observe_delivery(const Message& /*msg*/) {}
+
+  /// ILLEGAL channel (ablation only): full content of a message at the
+  /// moment it is *sent*, before any causal relation exists. The runtime
+  /// only calls this when configured to run outside the paper's model.
+  virtual void observe_pending_content(const Message& /*msg*/) {}
+
+  /// Polled before each delivery: processes to corrupt right now. The
+  /// runtime applies requests while the corruption budget f lasts and
+  /// ignores the rest.
+  virtual std::vector<CorruptionRequest> corrupt_now(Rng& /*rng*/) {
+    return {};
+  }
+};
+
+/// FIFO delivery: the network behaves like a synchronous round-robin
+/// (oldest message first).
+class FifoAdversary final : public Adversary {
+ public:
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+};
+
+/// Uniformly random delivery order — the standard benign-asynchrony
+/// baseline for coin success-rate measurements.
+class RandomAdversary final : public Adversary {
+ public:
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+};
+
+/// Content-oblivious but actively hostile: starves a set of senders
+/// (their messages go out only when the fairness bound forces them),
+/// random otherwise. A legal delayed-adaptive strategy.
+class DelaySendersAdversary final : public Adversary {
+ public:
+  /// ordered=false: when only victims' messages remain, release a random
+  /// one. ordered=true: release victims in ascending id order — the same
+  /// victims stay hidden at *every* receiver, which is the coordinated
+  /// schedule the common-core lemmas' worst case needs (still legal:
+  /// the order uses ids, never content).
+  explicit DelaySendersAdversary(std::vector<ProcessId> victims,
+                                 bool ordered = false);
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+
+ protected:
+  std::unordered_set<ProcessId> victims_;
+  bool ordered_;
+};
+
+/// Partitions processes into [0, boundary) vs the rest and delays all
+/// cross-partition traffic — stress-tests threshold logic (legal:
+/// content-blind).
+class SplitAdversary final : public Adversary {
+ public:
+  explicit SplitAdversary(ProcessId boundary);
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+
+ private:
+  ProcessId boundary_;
+};
+
+/// Heavy-tailed "WAN-like" scheduling: each pending message gets a
+/// persistent random weight drawn from a Pareto-ish distribution, and the
+/// lightest pending message is delivered first. Models realistic networks
+/// where most messages are fast but a long tail straggles — unlike the
+/// uniform RandomAdversary, a few messages are delayed a LOT. Content-
+/// oblivious, hence legal.
+class HeavyTailAdversary final : public Adversary {
+ public:
+  /// `alpha` is the Pareto shape (smaller = heavier tail; 1.1–2 typical).
+  explicit HeavyTailAdversary(double alpha = 1.5);
+
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+
+ private:
+  double alpha_;
+  std::unordered_map<std::uint64_t, double> weight_;  // msg id -> weight
+};
+
+/// Corrupts a fixed set of processes at start-up (static corruption is a
+/// special case of adaptive) and schedules randomly.
+class StaticCorruptionAdversary final : public Adversary {
+ public:
+  StaticCorruptionAdversary(std::vector<ProcessId> targets, FaultPlan plan);
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+  std::vector<CorruptionRequest> corrupt_now(Rng& rng) override;
+
+ private:
+  std::vector<ProcessId> targets_;
+  FaultPlan plan_;
+  bool fired_ = false;
+};
+
+/// ILLEGAL content-aware adversary for the E6 ablation: reads the content
+/// of *pending* (not yet causally-public) coin messages, learns each
+/// sender's VRF value, and starves + corrupt-silences every sender whose
+/// value's LSB differs from the desired coin outcome. Since the coin
+/// outputs the LSB of the minimum surviving value, this drives all
+/// correct processes toward the adversary's bit — the attack the
+/// delayed-adaptive assumption exists to rule out.
+class CoinBiasAdversary final : public Adversary {
+ public:
+  /// `tag_substring` selects which messages to inspect (e.g. "first");
+  /// `desired_bit` is the coin outcome the adversary forces.
+  CoinBiasAdversary(std::string tag_substring, int desired_bit);
+
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+  void observe_pending_content(const Message& msg) override;
+  std::vector<CorruptionRequest> corrupt_now(Rng& rng) override;
+
+ private:
+  std::string tag_substring_;
+  int desired_bit_;
+  std::unordered_set<ProcessId> starved_;  // senders holding the wrong bit
+  std::unordered_set<ProcessId> requested_;
+  // Observed coin value per sender: when starvation alone cannot block
+  // progress (everything pending is starved), the adversary releases the
+  // *largest* starved value first, keeping the small minima hidden
+  // longest — the strongest content-aware schedule against a min-coin.
+  std::unordered_map<ProcessId, std::uint64_t> value_of_;
+};
+
+/// LEGAL adaptive strategy: corrupts processes the moment they reveal
+/// committee membership by *speaking* (observe_delivery is causal-past
+/// information, so this obeys Definition 2.1). This is exactly the attack
+/// process replaceability (§6.1) is designed to defeat: by the time a
+/// member is identified it has already sent its one message, which cannot
+/// be retracted — so the corruptions buy the adversary nothing.
+class CommitteeHunterAdversary final : public Adversary {
+ public:
+  /// Corrupts senders of messages whose tag contains `tag_substring`
+  /// (empty = hunt every sender), with the given behaviour.
+  CommitteeHunterAdversary(std::string tag_substring, FaultPlan plan);
+
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+  void observe_delivery(const Message& msg) override;
+  std::vector<CorruptionRequest> corrupt_now(Rng& rng) override;
+
+  std::size_t hunted_count() const { return requested_.size(); }
+
+ private:
+  std::string tag_substring_;
+  FaultPlan plan_;
+  std::vector<ProcessId> queue_;  // revealed, not yet requested
+  std::unordered_set<ProcessId> requested_;
+};
+
+namespace detail {
+/// Rejection-samples an index whose sender is not in `avoid`; falls back
+/// to a full scan, then to an arbitrary pick if every sender is avoided.
+std::size_t pick_avoiding(const PendingPool& pending, Rng& rng,
+                          const std::unordered_set<ProcessId>& avoid);
+}  // namespace detail
+
+}  // namespace coincidence::sim

@@ -1,0 +1,42 @@
+// Byzantine fault behaviours applied by the runtime to corrupted
+// processes.
+//
+// Because every protocol value in this system is VRF- or signature-
+// validated, a Byzantine process cannot fabricate values that verify; its
+// real powers are silence, selective omission, garbage (exercises decoder
+// rejection paths), crashing, and — through the adversary — scheduling.
+// Protocol-specific equivocation attacks are built as dedicated Process
+// subclasses in the tests where they matter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+struct FaultPlan {
+  enum class Mode {
+    kCorrect,    // follows the protocol (not corrupted)
+    kCrash,      // stops sending and receiving at corruption time
+    kSilent,     // keeps receiving, sends nothing
+    kSelective,  // sends only to the listed targets (omission attack)
+    kJunk,       // payloads replaced by random bytes of the same length
+  };
+
+  Mode mode = Mode::kCorrect;
+
+  /// For kSelective: ids that still receive this process's messages.
+  std::vector<ProcessId> selective_targets;
+
+  static FaultPlan correct() { return {}; }
+  static FaultPlan crash() { return {Mode::kCrash, {}}; }
+  static FaultPlan silent() { return {Mode::kSilent, {}}; }
+  static FaultPlan junk() { return {Mode::kJunk, {}}; }
+  static FaultPlan selective(std::vector<ProcessId> targets) {
+    return {Mode::kSelective, std::move(targets)};
+  }
+};
+
+}  // namespace coincidence::sim

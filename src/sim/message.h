@@ -1,0 +1,50 @@
+// Messages on the simulated asynchronous network.
+//
+// Every message carries (a) routing metadata, (b) an opaque payload the
+// protocols encode/decode, (c) the word count charged to the sender per
+// the paper's accounting (§2: a word holds a signature, a VRF output, or
+// a finite-domain value), and (d) causal bookkeeping used both to measure
+// the paper's "duration" (longest causal message chain) and to enforce
+// the delayed-adaptive adversary's visibility rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace coincidence::sim {
+
+using ProcessId = std::uint32_t;
+
+struct Message {
+  std::uint64_t id = 0;        // unique per simulation, assigned on send
+  ProcessId from = 0;
+  ProcessId to = 0;
+  std::string tag;             // routing key, e.g. "ba/3/coin/first"
+  Bytes payload;
+  std::size_t words = 0;       // paper word count of this message
+
+  // Causality: depth of the send event = 1 + max depth the sender had
+  // observed when it sent. The paper's duration metric is the maximum
+  // depth over all decision events.
+  std::uint64_t causal_depth = 0;
+  std::uint64_t send_seq = 0;  // global send order (not visible to protocols)
+};
+
+/// What a *legal* (delayed-adaptive) adversary is allowed to see about an
+/// in-flight message when scheduling: everything except the content. The
+/// paper's adversary may only use a correct message's content for
+/// scheduling decisions about messages it causally precedes; for pending
+/// (undelivered) concurrent messages that reduces to content-blindness.
+struct MessageMeta {
+  std::uint64_t id = 0;
+  ProcessId from = 0;
+  ProcessId to = 0;
+  std::string tag;
+  std::size_t words = 0;
+  std::uint64_t send_seq = 0;
+  std::uint64_t age = 0;  // deliveries elapsed since this was enqueued
+};
+
+}  // namespace coincidence::sim

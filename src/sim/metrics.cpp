@@ -1,0 +1,35 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace coincidence::sim {
+
+void Metrics::record_send(const Message& msg, bool sender_correct) {
+  ++messages_sent_;
+  total_words_ += msg.words;
+  if (sender_correct) {
+    correct_words_ += msg.words;
+    // Bucket by the final tag component — the message *kind* (init, echo,
+    // ok, first, second, bval, ...) — so harnesses can split cost per
+    // protocol phase regardless of instance/round prefixes.
+    auto slash = msg.tag.rfind('/');
+    std::string bucket =
+        slash == std::string::npos ? msg.tag : msg.tag.substr(slash + 1);
+    words_by_tag_[bucket] += msg.words;
+  }
+}
+
+void Metrics::record_decision_depth(std::uint64_t depth) {
+  max_decision_depth_ = std::max(max_decision_depth_, depth);
+}
+
+void Metrics::reset() {
+  correct_words_ = 0;
+  total_words_ = 0;
+  messages_sent_ = 0;
+  deliveries_ = 0;
+  max_decision_depth_ = 0;
+  words_by_tag_.clear();
+}
+
+}  // namespace coincidence::sim

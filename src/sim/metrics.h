@@ -1,0 +1,52 @@
+// Word/message/time accounting, defined exactly as in §2 of the paper:
+//   word complexity = total words sent by correct processes,
+//   duration        = longest causally-related message chain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+class Metrics {
+ public:
+  /// Records a sent message. `sender_correct` selects whether it counts
+  /// toward the paper's word complexity (only correct senders do).
+  void record_send(const Message& msg, bool sender_correct);
+
+  void record_delivery() { ++deliveries_; }
+
+  /// Folds a decision event's causal depth into the duration metric.
+  void record_decision_depth(std::uint64_t depth);
+
+  /// Words sent by correct processes (the paper's complexity measure).
+  std::uint64_t correct_words() const { return correct_words_; }
+  /// Words sent by everyone, Byzantine included.
+  std::uint64_t total_words() const { return total_words_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  /// Max causal depth over recorded decision events (paper "duration").
+  std::uint64_t duration() const { return max_decision_depth_; }
+
+  /// Correct-sender words bucketed by the final tag component (the
+  /// message kind: init/echo/ok/first/...) — lets the benches split cost
+  /// per protocol phase.
+  const std::map<std::string, std::uint64_t>& words_by_tag() const {
+    return words_by_tag_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t correct_words_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t max_decision_depth_ = 0;
+  std::map<std::string, std::uint64_t> words_by_tag_;
+};
+
+}  // namespace coincidence::sim

@@ -1,0 +1,31 @@
+// Passive observation hooks on a Simulation.
+//
+// Observers see every send, delivery and corruption — outside the
+// adversary's restricted view — which makes them the right place for
+// in-flight invariant checking ("no correct process broadcast twice in
+// one committee role"), tracing, and custom metrics. Observers must not
+// mutate anything; they run after the runtime has finished processing
+// the event they are told about.
+#pragma once
+
+#include "sim/fault.h"
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A message entered the network (or a self-queue). `sender_correct`
+  /// is false for corrupted senders and adversary injections.
+  virtual void on_send(const Message& /*msg*/, bool /*sender_correct*/) {}
+
+  /// A message was handed to its receiver.
+  virtual void on_deliver(const Message& /*msg*/) {}
+
+  /// A process was corrupted with the given behaviour.
+  virtual void on_corrupt(ProcessId /*target*/, const FaultPlan& /*plan*/) {}
+};
+
+}  // namespace coincidence::sim

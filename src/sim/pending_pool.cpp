@@ -1,0 +1,39 @@
+#include "sim/pending_pool.h"
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+
+void PendingPool::push(Message msg, std::uint64_t tick) {
+  std::uint64_t id = msg.id;
+  index_of_[id] = msgs_.size();
+  msgs_.push_back(std::move(msg));
+  ticks_.push_back(tick);
+  oldest_heap_.push({tick, id});
+}
+
+std::size_t PendingPool::oldest_index() const {
+  COIN_REQUIRE(!msgs_.empty(), "oldest_index on empty pool");
+  for (;;) {
+    const HeapEntry& top = oldest_heap_.top();
+    auto it = index_of_.find(top.second);
+    if (it != index_of_.end()) return it->second;
+    oldest_heap_.pop();  // stale entry for an already-taken message
+  }
+}
+
+Message PendingPool::take(std::size_t i) {
+  COIN_REQUIRE(i < msgs_.size(), "take: bad index");
+  Message out = std::move(msgs_[i]);
+  index_of_.erase(out.id);
+  if (i + 1 != msgs_.size()) {
+    msgs_[i] = std::move(msgs_.back());
+    ticks_[i] = ticks_.back();
+    index_of_[msgs_[i].id] = i;
+  }
+  msgs_.pop_back();
+  ticks_.pop_back();
+  return out;
+}
+
+}  // namespace coincidence::sim

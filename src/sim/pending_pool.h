@@ -1,0 +1,54 @@
+// The in-flight message pool.
+//
+// Requirements: O(1) random access for the adversary, O(1) removal, O(1)
+// amortized oldest-message lookup for the fairness bound, and a metadata-
+// only read surface — adversaries can see every field of a pending
+// message *except its payload*, which is exactly the delayed-adaptive
+// visibility rule (payload access is reserved to the Simulation via
+// take()).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+class PendingPool {
+ public:
+  std::size_t size() const { return msgs_.size(); }
+  bool empty() const { return msgs_.empty(); }
+
+  // Metadata-only accessors (the adversary's legal view).
+  ProcessId from(std::size_t i) const { return msgs_[i].from; }
+  ProcessId to(std::size_t i) const { return msgs_[i].to; }
+  const std::string& tag(std::size_t i) const { return msgs_[i].tag; }
+  std::size_t words(std::size_t i) const { return msgs_[i].words; }
+  std::uint64_t send_seq(std::size_t i) const { return msgs_[i].send_seq; }
+  std::uint64_t enqueue_tick(std::size_t i) const { return ticks_[i]; }
+
+  /// Index of the message enqueued earliest among those still pending.
+  /// Amortized O(1) via a lazily-cleaned min-heap. Pool must be non-empty.
+  std::size_t oldest_index() const;
+
+  void push(Message msg, std::uint64_t tick);
+
+  /// Removes and returns the message at `i` (swap-remove; indices of other
+  /// messages may change).
+  Message take(std::size_t i);
+
+ private:
+  std::vector<Message> msgs_;
+  std::vector<std::uint64_t> ticks_;
+  mutable std::unordered_map<std::uint64_t, std::size_t> index_of_;  // id -> idx
+  // min-heap of (tick, id); stale ids skipped lazily.
+  using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                              std::greater<HeapEntry>> oldest_heap_;
+};
+
+}  // namespace coincidence::sim

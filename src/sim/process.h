@@ -1,0 +1,56 @@
+// Protocol-facing runtime interface.
+//
+// A Process is an event-driven state machine: on_start fires once, then
+// on_message for every delivered message. All interaction with the world
+// goes through Context, which the simulation implements. Protocol code
+// never sees the scheduler, the adversary, or other processes' state —
+// exactly the asynchronous message-passing model of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual std::size_t n() const = 0;
+
+  /// Point-to-point send. `words` is the paper word count of the message.
+  /// Sending to self is free on the wire but still dispatched (after the
+  /// current callback returns, to avoid reentrancy).
+  virtual void send(ProcessId to, std::string tag, Bytes payload,
+                    std::size_t words) = 0;
+
+  /// Send to all n processes (including self). Word metering charges
+  /// n * words, matching the paper's "send to all processes" accounting.
+  virtual void broadcast(std::string tag, Bytes payload,
+                         std::size_t words) = 0;
+
+  /// Per-process deterministic randomness (local coins, Ben-Or baseline).
+  virtual Rng& rng() = 0;
+
+  /// Current causal depth observed by this process.
+  virtual std::uint64_t causal_depth() const = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+
+  /// Invoked when the adversary corrupts this process. Default: nothing —
+  /// the runtime-level FaultPlan already controls the visible behaviour.
+  virtual void on_corrupt(Context& /*ctx*/) {}
+};
+
+}  // namespace coincidence::sim

@@ -1,0 +1,268 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+
+// ---------------------------------------------------------------- Slot --
+
+struct Simulation::Slot {
+  std::unique_ptr<Process> process;
+  std::unique_ptr<SlotContext> context;
+  Rng rng{0};
+  FaultPlan fault;            // kCorrect until corrupted
+  bool corrupted = false;
+  std::uint64_t depth = 0;    // causal depth observed so far
+  std::deque<Message> self_queue;
+};
+
+class Simulation::SlotContext final : public Context {
+ public:
+  SlotContext(Simulation* sim, ProcessId id) : sim_(sim), id_(id) {}
+
+  ProcessId self() const override { return id_; }
+  std::size_t n() const override { return sim_->cfg_.n; }
+
+  void send(ProcessId to, std::string tag, Bytes payload,
+            std::size_t words) override {
+    sim_->enqueue_send(id_, to, std::move(tag), std::move(payload), words);
+  }
+
+  void broadcast(std::string tag, Bytes payload, std::size_t words) override {
+    for (ProcessId to = 0; to < sim_->cfg_.n; ++to)
+      sim_->enqueue_send(id_, to, tag, payload, words);
+  }
+
+  Rng& rng() override { return sim_->slots_[id_]->rng; }
+
+  std::uint64_t causal_depth() const override {
+    return sim_->slots_[id_]->depth;
+  }
+
+ private:
+  Simulation* sim_;
+  ProcessId id_;
+};
+
+// ---------------------------------------------------------- Simulation --
+
+Simulation::Simulation(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  COIN_REQUIRE(cfg_.n > 0, "Simulation needs at least one process");
+  if (cfg_.fairness_bound == 0) cfg_.fairness_bound = 16 * cfg_.n;
+  adversary_ = std::make_unique<RandomAdversary>();
+  slots_.reserve(cfg_.n);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::add_process(std::unique_ptr<Process> p) {
+  COIN_REQUIRE(!started_, "add_process after start");
+  COIN_REQUIRE(slots_.size() < cfg_.n, "too many processes");
+  auto id = static_cast<ProcessId>(slots_.size());
+  auto slot = std::make_unique<Slot>();
+  slot->process = std::move(p);
+  slot->context = std::make_unique<SlotContext>(this, id);
+  slot->rng = rng_.fork();
+  slots_.push_back(std::move(slot));
+}
+
+void Simulation::set_adversary(std::unique_ptr<Adversary> a) {
+  COIN_REQUIRE(a != nullptr, "null adversary");
+  adversary_ = std::move(a);
+}
+
+void Simulation::add_observer(std::shared_ptr<Observer> observer) {
+  COIN_REQUIRE(observer != nullptr, "null observer");
+  observers_.push_back(std::move(observer));
+}
+
+void Simulation::corrupt(ProcessId id, FaultPlan plan) {
+  COIN_REQUIRE(id < slots_.size(), "corrupt: bad id");
+  Slot& slot = *slots_[id];
+  if (slot.corrupted) {  // re-corruption just updates the behaviour
+    slot.fault = std::move(plan);
+    return;
+  }
+  COIN_REQUIRE(corrupted_count_ < cfg_.f,
+               "adversary corruption budget f exhausted");
+  slot.corrupted = true;
+  slot.fault = std::move(plan);
+  ++corrupted_count_;
+  for (auto& obs : observers_) obs->on_corrupt(id, slot.fault);
+  if (started_) slot.process->on_corrupt(*slot.context);
+}
+
+bool Simulation::is_corrupted(ProcessId id) const {
+  COIN_REQUIRE(id < slots_.size(), "is_corrupted: bad id");
+  return slots_[id]->corrupted;
+}
+
+Process& Simulation::process(ProcessId id) {
+  COIN_REQUIRE(id < slots_.size(), "process: bad id");
+  return *slots_[id]->process;
+}
+
+std::uint64_t Simulation::depth_of(ProcessId id) const {
+  COIN_REQUIRE(id < slots_.size(), "depth_of: bad id");
+  return slots_[id]->depth;
+}
+
+void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
+                              Bytes payload, std::size_t words) {
+  COIN_REQUIRE(to < cfg_.n, "send: bad destination");
+  Slot& sender = *slots_[from];
+
+  // Apply the sender's fault behaviour at the network boundary.
+  if (sender.corrupted) {
+    switch (sender.fault.mode) {
+      case FaultPlan::Mode::kCrash:
+      case FaultPlan::Mode::kSilent:
+        return;  // nothing leaves a crashed/silent process
+      case FaultPlan::Mode::kSelective: {
+        const auto& t = sender.fault.selective_targets;
+        if (std::find(t.begin(), t.end(), to) == t.end()) return;
+        break;
+      }
+      case FaultPlan::Mode::kJunk:
+        payload = sender.rng.next_bytes(payload.size());
+        break;
+      case FaultPlan::Mode::kCorrect:
+        break;
+    }
+  }
+
+  Message msg;
+  msg.id = next_msg_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.tag = std::move(tag);
+  msg.payload = std::move(payload);
+  msg.words = words;
+  msg.causal_depth = sender.depth + 1;
+  msg.send_seq = send_seq_++;
+
+  metrics_.record_send(msg, !sender.corrupted);
+  for (auto& obs : observers_) obs->on_send(msg, !sender.corrupted);
+
+  if (cfg_.allow_content_visibility) adversary_->observe_pending_content(msg);
+
+  if (to == from) {
+    sender.self_queue.push_back(std::move(msg));  // free local delivery
+  } else {
+    pending_.push(std::move(msg), deliveries_);
+  }
+}
+
+void Simulation::inject(ProcessId from, ProcessId to, std::string tag,
+                        Bytes payload, std::size_t words) {
+  COIN_REQUIRE(from < slots_.size() && to < cfg_.n, "inject: bad ids");
+  COIN_REQUIRE(slots_[from]->corrupted,
+               "inject: only corrupted processes can be impersonated");
+  Message msg;
+  msg.id = next_msg_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.tag = std::move(tag);
+  msg.payload = std::move(payload);
+  msg.words = words;
+  msg.causal_depth = slots_[from]->depth + 1;
+  msg.send_seq = send_seq_++;
+  metrics_.record_send(msg, /*sender_correct=*/false);
+  for (auto& obs : observers_) obs->on_send(msg, false);
+  if (to == from) {
+    slots_[from]->self_queue.push_back(std::move(msg));
+  } else {
+    pending_.push(std::move(msg), deliveries_);
+  }
+}
+
+void Simulation::dispatch_to(ProcessId to, const Message& msg) {
+  Slot& receiver = *slots_[to];
+  if (receiver.corrupted && receiver.fault.mode == FaultPlan::Mode::kCrash)
+    return;  // crashed processes receive nothing
+  receiver.depth = std::max(receiver.depth, msg.causal_depth);
+  receiver.process->on_message(*receiver.context, msg);
+  drain_self_queue(to);
+}
+
+void Simulation::drain_self_queue(ProcessId id) {
+  Slot& slot = *slots_[id];
+  while (!slot.self_queue.empty()) {
+    if (slot.corrupted && slot.fault.mode == FaultPlan::Mode::kCrash) {
+      slot.self_queue.clear();
+      return;
+    }
+    Message msg = std::move(slot.self_queue.front());
+    slot.self_queue.pop_front();
+    slot.depth = std::max(slot.depth, msg.causal_depth);
+    slot.process->on_message(*slot.context, msg);
+  }
+}
+
+void Simulation::apply_corruptions() {
+  for (auto& req : adversary_->corrupt_now(rng_)) {
+    if (req.target >= slots_.size()) continue;
+    if (slots_[req.target]->corrupted) continue;
+    if (corrupted_count_ >= cfg_.f) break;  // budget exhausted: ignore
+    corrupt(req.target, std::move(req.plan));
+  }
+}
+
+void Simulation::start() {
+  COIN_REQUIRE(!started_, "start called twice");
+  COIN_REQUIRE(slots_.size() == cfg_.n, "start: missing processes");
+  started_ = true;
+  apply_corruptions();
+  for (auto& slot : slots_) {
+    if (slot->corrupted && slot->fault.mode == FaultPlan::Mode::kCrash)
+      continue;
+    slot->process->on_start(*slot->context);
+  }
+  for (ProcessId id = 0; id < slots_.size(); ++id) drain_self_queue(id);
+}
+
+bool Simulation::step() {
+  COIN_REQUIRE(started_, "step before start");
+  if (pending_.empty()) return false;
+  if (deliveries_ >= cfg_.max_deliveries)
+    throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
+
+  apply_corruptions();
+
+  // Fairness override: the oldest message must go through once bypassed
+  // fairness_bound times; otherwise the adversary chooses freely.
+  std::size_t chosen;
+  std::size_t oldest = pending_.oldest_index();
+  if (deliveries_ - pending_.enqueue_tick(oldest) >= cfg_.fairness_bound) {
+    chosen = oldest;
+  } else {
+    chosen = adversary_->schedule(pending_, rng_);
+    COIN_REQUIRE(chosen < pending_.size(), "adversary chose bad index");
+  }
+
+  Message msg = pending_.take(chosen);
+
+  ++deliveries_;
+  metrics_.record_delivery();
+  dispatch_to(msg.to, msg);
+  for (auto& obs : observers_) obs->on_deliver(msg);
+  adversary_->observe_delivery(msg);
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+bool Simulation::run_until(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (step()) {
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace coincidence::sim

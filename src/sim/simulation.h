@@ -1,0 +1,131 @@
+// Deterministic discrete-event simulator for the asynchronous model of §2.
+//
+// One Simulation owns n processes, the in-flight message pool, the
+// adversary, and the metrics. There is no global clock: the adversary
+// picks the next delivery, subject to (a) eventual delivery — a fairness
+// bound forces the oldest message through once it has been bypassed too
+// often, modelling "every message is eventually delivered"; (b) the
+// corruption budget f; (c) no-front-running — messages already in flight
+// from a newly-corrupted process cannot be retracted; and (d) content-
+// blindness for pending messages unless the illegal ablation mode is on.
+//
+// Everything is driven by one seeded Rng, so a run is a pure function of
+// (processes, adversary, config) — every experiment is replayable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/fault.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/observer.h"
+#include "sim/pending_pool.h"
+#include "sim/process.h"
+
+namespace coincidence::sim {
+
+struct SimConfig {
+  std::size_t n = 4;
+  std::size_t f = 0;  // corruption budget for the adversary
+  std::uint64_t seed = 1;
+  /// A pending message is force-delivered once it has been bypassed this
+  /// many times (0 = default 16 * n). Models eventual delivery while
+  /// leaving the adversary wide scheduling latitude.
+  std::uint64_t fairness_bound = 0;
+  /// ILLEGAL mode for the E6 ablation: feeds pending-message content to
+  /// Adversary::observe_pending_content, violating delayed-adaptivity.
+  bool allow_content_visibility = false;
+  /// Hard stop against runaway protocols.
+  std::uint64_t max_deliveries = 200'000'000;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig cfg);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Adds the next process (ids are assigned 0..n-1 in call order).
+  /// All n processes must be added before start().
+  void add_process(std::unique_ptr<Process> p);
+
+  /// Installs the adversary (default: RandomAdversary).
+  void set_adversary(std::unique_ptr<Adversary> a);
+
+  /// Attaches a passive observer (tracing / invariant checks). Multiple
+  /// observers fire in attachment order.
+  void add_observer(std::shared_ptr<Observer> observer);
+
+  /// Corrupts `id` with the given behaviour. Counts against the budget f;
+  /// throws PreconditionError when the budget is exhausted. Messages the
+  /// process already sent stay in flight (no after-the-fact removal).
+  void corrupt(ProcessId id, FaultPlan plan);
+
+  bool is_corrupted(ProcessId id) const;
+  std::size_t corrupted_count() const { return corrupted_count_; }
+
+  /// Adversary-crafted message from a corrupted process (must already be
+  /// corrupted — correct processes cannot be impersonated, modelling
+  /// authenticated links).
+  void inject(ProcessId from, ProcessId to, std::string tag, Bytes payload,
+              std::size_t words);
+
+  /// Calls on_start on every process. Must be called exactly once.
+  void start();
+
+  /// Delivers one message; false when nothing is pending.
+  bool step();
+
+  /// Runs until quiescence (no pending messages) or max_deliveries.
+  void run();
+
+  /// Runs until pred() is true or quiescence/max_deliveries; returns the
+  /// final pred() value.
+  bool run_until(const std::function<bool()>& pred);
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  std::size_t n() const { return cfg_.n; }
+  std::size_t f_budget() const { return cfg_.f; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Protocol-visible access for the harness (e.g. to read decisions).
+  Process& process(ProcessId id);
+
+  /// Causal depth a process has observed (exposed for tests/metrics).
+  std::uint64_t depth_of(ProcessId id) const;
+
+ private:
+  struct Slot;       // per-process runtime state
+  class SlotContext; // Context implementation bound to one slot
+
+  void dispatch_to(ProcessId to, const Message& msg);
+  void drain_self_queue(ProcessId id);
+  void enqueue_send(ProcessId from, ProcessId to, std::string tag,
+                    Bytes payload, std::size_t words);
+  void apply_corruptions();
+
+  SimConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unique_ptr<Adversary> adversary_;
+  std::vector<std::shared_ptr<Observer>> observers_;
+  PendingPool pending_;
+  Metrics metrics_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::size_t corrupted_count_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace coincidence::sim

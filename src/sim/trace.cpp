@@ -1,0 +1,59 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace coincidence::sim {
+
+const char* fault_mode_name(FaultPlan::Mode mode) {
+  switch (mode) {
+    case FaultPlan::Mode::kCorrect: return "correct";
+    case FaultPlan::Mode::kCrash: return "crash";
+    case FaultPlan::Mode::kSilent: return "silent";
+    case FaultPlan::Mode::kSelective: return "selective";
+    case FaultPlan::Mode::kJunk: return "junk";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::string tag_filter)
+    : tag_filter_(std::move(tag_filter)) {}
+
+void TraceRecorder::on_send(const Message& msg, bool sender_correct) {
+  if (!tag_filter_.empty() && msg.tag.find(tag_filter_) == std::string::npos)
+    return;
+  events_.push_back({Event::Kind::kSend, msg.id, msg.from, msg.to, msg.tag,
+                     msg.words, sender_correct});
+}
+
+void TraceRecorder::on_deliver(const Message& msg) {
+  if (!tag_filter_.empty() && msg.tag.find(tag_filter_) == std::string::npos)
+    return;
+  events_.push_back({Event::Kind::kDeliver, msg.id, msg.from, msg.to,
+                     msg.tag, msg.words, true});
+}
+
+void TraceRecorder::on_corrupt(ProcessId target, const FaultPlan& plan) {
+  events_.push_back({Event::Kind::kCorrupt, 0, target, target,
+                     fault_mode_name(plan.mode), 0, false});
+}
+
+void TraceRecorder::dump(std::ostream& os) const {
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case Event::Kind::kSend:
+        os << "S " << e.msg_id << ' ' << e.from << "->" << e.to << ' '
+           << e.tag << ' ' << e.words << (e.sender_correct ? "" : " BYZ")
+           << '\n';
+        break;
+      case Event::Kind::kDeliver:
+        os << "D " << e.msg_id << ' ' << e.from << "->" << e.to << ' '
+           << e.tag << '\n';
+        break;
+      case Event::Kind::kCorrupt:
+        os << "C " << e.from << ' ' << e.tag << '\n';
+        break;
+    }
+  }
+}
+
+}  // namespace coincidence::sim

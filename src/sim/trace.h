@@ -1,0 +1,54 @@
+// Event-trace recording built on the Observer hooks.
+//
+// Records a compact, human-greppable line per event; tests and debugging
+// sessions replay a run (everything is seed-deterministic) with a
+// TraceRecorder attached and diff or grep the trace. Optional tag filter
+// keeps traces of big runs manageable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/observer.h"
+
+namespace coincidence::sim {
+
+class TraceRecorder final : public Observer {
+ public:
+  struct Event {
+    enum class Kind { kSend, kDeliver, kCorrupt };
+    Kind kind;
+    std::uint64_t msg_id = 0;  // 0 for corruptions
+    ProcessId from = 0;        // corrupted process for kCorrupt
+    ProcessId to = 0;
+    std::string tag;           // fault mode name for kCorrupt
+    std::size_t words = 0;
+    bool sender_correct = true;
+  };
+
+  /// Records only events whose tag contains `tag_filter` (empty = all).
+  explicit TraceRecorder(std::string tag_filter = "");
+
+  void on_send(const Message& msg, bool sender_correct) override;
+  void on_deliver(const Message& msg) override;
+  void on_corrupt(ProcessId target, const FaultPlan& plan) override;
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// One line per event: "S id from->to tag words" / "D id from->to tag"
+  /// / "C target mode".
+  void dump(std::ostream& os) const;
+
+ private:
+  std::string tag_filter_;
+  std::vector<Event> events_;
+};
+
+/// Name of a fault mode, for traces and test diagnostics.
+const char* fault_mode_name(FaultPlan::Mode mode);
+
+}  // namespace coincidence::sim

@@ -1,0 +1,35 @@
+#include "sim/vector_clock.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+
+void VectorClock::tick(std::size_t i) {
+  COIN_REQUIRE(i < ticks_.size(), "VectorClock::tick: bad index");
+  ++ticks_[i];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  COIN_REQUIRE(ticks_.size() == other.ticks_.size(),
+               "VectorClock::merge: size mismatch");
+  for (std::size_t i = 0; i < ticks_.size(); ++i)
+    ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+}
+
+bool VectorClock::happens_before(const VectorClock& a, const VectorClock& b) {
+  COIN_REQUIRE(a.size() == b.size(), "happens_before: size mismatch");
+  bool strictly_less = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.ticks_[i] > b.ticks_[i]) return false;
+    if (a.ticks_[i] < b.ticks_[i]) strictly_less = true;
+  }
+  return strictly_less;
+}
+
+bool VectorClock::concurrent(const VectorClock& a, const VectorClock& b) {
+  return !happens_before(a, b) && !happens_before(b, a) && !(a == b);
+}
+
+}  // namespace coincidence::sim

@@ -1,0 +1,44 @@
+// Vector clocks — the reference implementation of Lamport's happens-before
+// relation (§2 defines the delayed-adaptive adversary in terms of it).
+//
+// The runtime itself only tracks scalar causal depth (enough for the
+// duration metric); vector clocks are used by the test-suite to verify
+// that the runtime's depth accounting and visibility rules agree with
+// true causality, and are available to applications that need full
+// happens-before queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coincidence::sim {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : ticks_(n, 0) {}
+
+  std::size_t size() const { return ticks_.size(); }
+  std::uint64_t at(std::size_t i) const { return ticks_.at(i); }
+
+  /// Local event at process i: ticks_[i] += 1.
+  void tick(std::size_t i);
+
+  /// Component-wise max with another clock (message receive), then tick.
+  void merge(const VectorClock& other);
+
+  /// a happens-before b: a <= b component-wise and a != b.
+  static bool happens_before(const VectorClock& a, const VectorClock& b);
+
+  /// Neither happens-before the other.
+  static bool concurrent(const VectorClock& a, const VectorClock& b);
+
+  bool operator==(const VectorClock& other) const {
+    return ticks_ == other.ticks_;
+  }
+
+ private:
+  std::vector<std::uint64_t> ticks_;
+};
+
+}  // namespace coincidence::sim

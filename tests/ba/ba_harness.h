@@ -1,0 +1,110 @@
+// Shared harness for Byzantine Agreement tests and benches: runs any
+// BaProcess implementation on the simulator and summarizes the outcome.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ba/ba_process.h"
+#include "ba/value.h"
+#include "sim/simulation.h"
+
+namespace coincidence::ba::testing {
+
+using BaFactory =
+    std::function<std::unique_ptr<BaProcess>(sim::ProcessId, Value input)>;
+
+struct BaRunSpec {
+  std::size_t n = 0;
+  std::size_t f_budget = 0;
+  std::uint64_t seed = 1;
+  std::vector<Value> inputs;  // size n
+  std::function<std::unique_ptr<sim::Adversary>()> adversary;
+  std::vector<std::pair<sim::ProcessId, sim::FaultPlan>> corruptions;
+};
+
+struct BaRunResult {
+  std::vector<std::optional<int>> decisions;  // per process
+  std::vector<std::uint64_t> decided_rounds;
+  std::vector<bool> corrupted;
+  std::uint64_t correct_words = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t duration = 0;
+
+  bool all_correct_decided() const {
+    for (std::size_t i = 0; i < decisions.size(); ++i)
+      if (!corrupted[i] && !decisions[i].has_value()) return false;
+    return true;
+  }
+
+  /// The unanimous decision of correct processes; nullopt if any is
+  /// missing or they disagree.
+  std::optional<int> agreement() const {
+    std::optional<int> bit;
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      if (corrupted[i]) continue;
+      if (!decisions[i].has_value()) return std::nullopt;
+      if (!bit) bit = decisions[i];
+      if (*bit != *decisions[i]) return std::nullopt;
+    }
+    return bit;
+  }
+
+  std::uint64_t max_decided_round() const {
+    std::uint64_t r = 0;
+    for (std::size_t i = 0; i < decisions.size(); ++i)
+      if (!corrupted[i] && decisions[i]) r = std::max(r, decided_rounds[i]);
+    return r;
+  }
+};
+
+inline BaRunResult run_ba(const BaRunSpec& spec, const BaFactory& factory) {
+  sim::SimConfig cfg;
+  cfg.n = spec.n;
+  cfg.f = spec.f_budget;
+  cfg.seed = spec.seed;
+  sim::Simulation sim(cfg);
+  for (sim::ProcessId i = 0; i < spec.n; ++i)
+    sim.add_process(factory(i, spec.inputs.at(i)));
+  if (spec.adversary) sim.set_adversary(spec.adversary());
+  for (const auto& [id, plan] : spec.corruptions) sim.corrupt(id, plan);
+  sim.start();
+  // Stop as soon as every correct process decided — the protocols keep a
+  // post-decision grace window whose leftover traffic is irrelevant here.
+  sim.run_until([&] {
+    for (sim::ProcessId i = 0; i < spec.n; ++i) {
+      if (sim.is_corrupted(i)) continue;
+      if (!dynamic_cast<BaProcess&>(sim.process(i)).decided()) return false;
+    }
+    return true;
+  });
+
+  BaRunResult result;
+  result.decisions.resize(spec.n);
+  result.decided_rounds.resize(spec.n, 0);
+  result.corrupted.resize(spec.n, false);
+  for (sim::ProcessId i = 0; i < spec.n; ++i) {
+    result.corrupted[i] = sim.is_corrupted(i);
+    auto& p = dynamic_cast<BaProcess&>(sim.process(i));
+    if (p.decided()) {
+      result.decisions[i] = p.decision();
+      result.decided_rounds[i] = p.decided_round();
+    }
+  }
+  result.correct_words = sim.metrics().correct_words();
+  result.total_messages = sim.metrics().messages_sent();
+  for (sim::ProcessId i = 0; i < spec.n; ++i)
+    result.duration = std::max(result.duration, sim.depth_of(i));
+  return result;
+}
+
+/// n inputs: first `ones` processes propose 1, the rest 0.
+inline std::vector<Value> mixed_inputs(std::size_t n, std::size_t ones) {
+  std::vector<Value> inputs(n, kZero);
+  for (std::size_t i = 0; i < ones && i < n; ++i) inputs[i] = kOne;
+  return inputs;
+}
+
+}  // namespace coincidence::ba::testing

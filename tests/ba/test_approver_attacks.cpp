@@ -1,0 +1,213 @@
+// Adversarial-input suite for the approver: every way a Byzantine
+// process can try to cheat the three-phase structure, and why each fails.
+#include <gtest/gtest.h>
+
+#include "ba/approver.h"
+#include "common/errors.h"
+#include "common/ser.h"
+#include "crypto/fast_vrf.h"
+#include "sim/simulation.h"
+
+namespace coincidence::ba {
+namespace {
+
+struct AttackFixture {
+  explicit AttackFixture(std::size_t n, std::uint64_t key_seed = 21)
+      : n(n),
+        params(committee::Params::derive(n, 0.25, 0.02, /*strict=*/false)),
+        registry(crypto::KeyRegistry::create_for(n, key_seed)),
+        vrf(std::make_shared<crypto::FastVrf>(registry)),
+        sampler(std::make_shared<committee::Sampler>(vrf, registry,
+                                                     params.sample_prob())),
+        signer(std::make_shared<crypto::Signer>(registry)) {}
+
+  Approver::Config config() const {
+    Approver::Config cfg;
+    cfg.tag = "apv";
+    cfg.params = params;
+    cfg.registry = registry;
+    cfg.sampler = sampler;
+    cfg.signer = signer;
+    return cfg;
+  }
+
+  /// Builds a sim where everyone approves `input`; the last process is
+  /// corrupted silent (the attacker's identity for injections).
+  std::unique_ptr<sim::Simulation> make_sim(Value input,
+                                            std::uint64_t seed) const {
+    sim::SimConfig cfg;
+    cfg.n = n;
+    cfg.f = 1;
+    cfg.seed = seed;
+    auto sim = std::make_unique<sim::Simulation>(cfg);
+    for (std::size_t i = 0; i < n; ++i)
+      sim->add_process(std::make_unique<ApproverHost>(config(), input));
+    sim->corrupt(static_cast<sim::ProcessId>(n - 1),
+                 sim::FaultPlan::silent());
+    return sim;
+  }
+
+  void expect_all_output(sim::Simulation& sim, Value v) const {
+    for (sim::ProcessId i = 0; i + 1 < n; ++i) {
+      auto& host = dynamic_cast<ApproverHost&>(sim.process(i));
+      ASSERT_TRUE(host.approver().done()) << i;
+      EXPECT_EQ(host.approver().output(), std::set<Value>{v}) << i;
+    }
+  }
+
+  std::size_t n;
+  committee::Params params;
+  std::shared_ptr<crypto::KeyRegistry> registry;
+  std::shared_ptr<crypto::FastVrf> vrf;
+  std::shared_ptr<committee::Sampler> sampler;
+  std::shared_ptr<crypto::Signer> signer;
+};
+
+TEST(ApproverAttacks, InitWithForgedElectionProofIgnored) {
+  AttackFixture fx(40);
+  auto sim = fx.make_sim(kZero, 1);
+  sim->start();
+  sim::ProcessId attacker = 39;
+  Writer w;
+  w.u8(kOne).blob(bytes_of("fake-election"));
+  for (sim::ProcessId to = 0; to < 39; ++to)
+    sim->inject(attacker, to, "apv/init", w.bytes(), 2);
+  sim->run();
+  fx.expect_all_output(*sim, kZero);
+}
+
+TEST(ApproverAttacks, EchoWithoutMembershipIgnored) {
+  AttackFixture fx(40);
+  auto sim = fx.make_sim(kZero, 2);
+  sim->start();
+  sim::ProcessId attacker = 39;
+  // Valid signature over <echo,1> but an election proof for the WRONG
+  // committee seed (init instead of echo/1).
+  auto wrong_committee = fx.sampler->sample(attacker, "apv/init");
+  Writer sig_msg;
+  sig_msg.str("apv").str("echo").u8(kOne);
+  Bytes sig = fx.signer->sign(attacker, sig_msg.bytes());
+  Writer w;
+  w.u8(kOne).blob(wrong_committee.proof).blob(sig);
+  for (sim::ProcessId to = 0; to < 39; ++to)
+    sim->inject(attacker, to, "apv/echo", w.bytes(), 3);
+  sim->run();
+  fx.expect_all_output(*sim, kZero);
+}
+
+TEST(ApproverAttacks, OkWithDuplicatedEchoEntriesRejected) {
+  // W copies of ONE valid signed echo do not make a quorum: receivers
+  // must require W *distinct* echo senders.
+  AttackFixture fx(40);
+  auto sim = fx.make_sim(kZero, 3);
+  sim->start();
+  sim::ProcessId attacker = 39;
+
+  // Manufacture one genuinely valid signed echo for value 0 from some
+  // echo(0)-committee member (the attacker can read the wire, so this is
+  // realistic), then duplicate it W times in a forged ok.
+  crypto::ProcessId echoer = 0;
+  bool found = false;
+  for (crypto::ProcessId i = 0; i < 39 && !found; ++i) {
+    if (fx.sampler->sample(i, "apv/echo/0").sampled) {
+      echoer = i;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  auto echo_election = fx.sampler->sample(echoer, "apv/echo/0");
+  Writer sig_msg;
+  sig_msg.str("apv").str("echo").u8(kZero);
+  Bytes sig = fx.signer->sign(echoer, sig_msg.bytes());
+
+  auto ok_election = fx.sampler->sample(attacker, "apv/ok");
+  Writer w;
+  w.u8(kZero).blob(ok_election.proof);
+  w.u32(static_cast<std::uint32_t>(fx.params.W));
+  for (std::size_t i = 0; i < fx.params.W; ++i)
+    w.u32(echoer).blob(sig).blob(echo_election.proof);
+  for (sim::ProcessId to = 0; to < 39; ++to)
+    sim->inject(attacker, to, "apv/ok", w.bytes(), 2 + 2 * fx.params.W);
+  sim->run();
+
+  // The forged oks count at most once per *sender* anyway, but the value
+  // is the honest one; the sharper check: receivers who complete must
+  // have needed W distinct ok senders, so the run completes exactly as
+  // the honest run does.
+  fx.expect_all_output(*sim, kZero);
+}
+
+TEST(ApproverAttacks, OkForValueNobodyInitializedCannotForge) {
+  // Even an ok-committee member cannot produce a valid ok for value 1
+  // when all correct inits were 0: it would need W signed echoes for 1,
+  // and no correct echo(1) member ever signs one.
+  AttackFixture fx(40);
+  auto sim = fx.make_sim(kZero, 4);
+  sim->start();
+  sim::ProcessId attacker = 39;
+  auto ok_election = fx.sampler->sample(attacker, "apv/ok");
+  // Self-signed junk "echoes" from ids 0..W-1.
+  Writer w;
+  w.u8(kOne).blob(ok_election.proof);
+  w.u32(static_cast<std::uint32_t>(fx.params.W));
+  Writer sig_msg;
+  sig_msg.str("apv").str("echo").u8(kOne);
+  Bytes attacker_sig = fx.signer->sign(attacker, sig_msg.bytes());
+  for (std::uint32_t i = 0; i < fx.params.W; ++i)
+    w.u32(i).blob(attacker_sig).blob(fx.sampler->sample(i, "apv/echo/1").proof);
+  for (sim::ProcessId to = 0; to < 39; ++to)
+    sim->inject(attacker, to, "apv/ok", w.bytes(), 2 + 2 * fx.params.W);
+  sim->run();
+  fx.expect_all_output(*sim, kZero);
+}
+
+TEST(ApproverAttacks, TruncatedAndOversizedPayloadsIgnored) {
+  AttackFixture fx(40);
+  auto sim = fx.make_sim(kOne, 5);
+  sim->start();
+  sim::ProcessId attacker = 39;
+  for (sim::ProcessId to : {0u, 1u, 2u}) {
+    sim->inject(attacker, to, "apv/init", Bytes{}, 1);          // empty
+    sim->inject(attacker, to, "apv/echo", bytes_of("x"), 1);    // truncated
+    Writer w;
+    w.u8(kOne).blob(Bytes(4096, 0xcc)).blob(Bytes(4096, 0xdd));
+    w.u8(99);  // trailing garbage
+    sim->inject(attacker, to, "apv/echo", w.bytes(), 1);
+    sim->inject(attacker, to, "apv/ok", bytes_of("?"), 1);
+  }
+  sim->run();
+  fx.expect_all_output(*sim, kOne);
+}
+
+TEST(ApproverAttacks, CrossInstanceReplayIgnored) {
+  // Proofs and signatures from instance "apv" must not validate in
+  // instance "apv2" (the tag is part of every seed and signed message).
+  AttackFixture fx(40);
+  sim::SimConfig cfg;
+  cfg.n = 40;
+  cfg.f = 1;
+  cfg.seed = 6;
+  sim::Simulation sim(cfg);
+  Approver::Config acfg = fx.config();
+  acfg.tag = "apv2";
+  for (std::size_t i = 0; i < 40; ++i)
+    sim.add_process(std::make_unique<ApproverHost>(acfg, kZero));
+  sim.corrupt(39, sim::FaultPlan::silent());
+  sim.start();
+
+  // Replay an "apv"-instance init election proof into "apv2".
+  auto foreign = fx.sampler->sample(39, "apv/init");
+  Writer w;
+  w.u8(kOne).blob(foreign.proof);
+  for (sim::ProcessId to = 0; to < 39; ++to)
+    sim.inject(39, to, "apv2/init", w.bytes(), 2);
+  sim.run();
+  for (sim::ProcessId i = 0; i < 39; ++i) {
+    auto& host = dynamic_cast<ApproverHost&>(sim.process(i));
+    ASSERT_TRUE(host.approver().done()) << i;
+    EXPECT_EQ(host.approver().output(), std::set<Value>{kZero}) << i;
+  }
+}
+
+}  // namespace
+}  // namespace coincidence::ba

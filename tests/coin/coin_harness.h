@@ -1,0 +1,81 @@
+// Shared harness for coin protocol tests: builds a Simulation of n
+// CoinHost processes around a per-test coin factory, runs it, and
+// collects the outputs of correct processes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coin/coin_protocol.h"
+#include "crypto/fast_vrf.h"
+#include "sim/simulation.h"
+
+namespace coincidence::coin::testing {
+
+struct CoinRunResult {
+  /// Output per process; nullopt = did not return (or was corrupted).
+  std::vector<std::optional<int>> outputs;
+  std::uint64_t correct_words = 0;
+  std::uint64_t duration = 0;
+
+  /// All correct processes returned.
+  bool all_returned(const std::vector<bool>& corrupted) const {
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+      if (!corrupted[i] && !outputs[i].has_value()) return false;
+    return true;
+  }
+
+  /// All correct processes returned the same bit; nullopt if not.
+  std::optional<int> unanimous(const std::vector<bool>& corrupted) const {
+    std::optional<int> bit;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (corrupted[i]) continue;
+      if (!outputs[i].has_value()) return std::nullopt;
+      if (!bit) bit = outputs[i];
+      if (*bit != *outputs[i]) return std::nullopt;
+    }
+    return bit;
+  }
+};
+
+using CoinFactory =
+    std::function<std::unique_ptr<CoinProtocol>(crypto::ProcessId)>;
+
+struct CoinRunSpec {
+  std::size_t n = 0;
+  std::size_t f_budget = 0;
+  std::uint64_t seed = 1;
+  std::function<std::unique_ptr<sim::Adversary>()> adversary;  // optional
+  /// Processes corrupted before start, with their fault plans.
+  std::vector<std::pair<sim::ProcessId, sim::FaultPlan>> corruptions;
+};
+
+inline CoinRunResult run_coin(const CoinRunSpec& spec,
+                              const CoinFactory& factory) {
+  sim::SimConfig cfg;
+  cfg.n = spec.n;
+  cfg.f = spec.f_budget;
+  cfg.seed = spec.seed;
+  sim::Simulation sim(cfg);
+  for (crypto::ProcessId i = 0; i < spec.n; ++i)
+    sim.add_process(std::make_unique<CoinHost>(factory(i)));
+  if (spec.adversary) sim.set_adversary(spec.adversary());
+  for (const auto& [id, plan] : spec.corruptions) sim.corrupt(id, plan);
+  sim.start();
+  sim.run();
+
+  CoinRunResult result;
+  result.outputs.resize(spec.n);
+  for (crypto::ProcessId i = 0; i < spec.n; ++i) {
+    const auto& coin = dynamic_cast<CoinHost&>(sim.process(i)).coin();
+    if (coin.done()) result.outputs[i] = coin.output();
+  }
+  result.correct_words = sim.metrics().correct_words();
+  for (crypto::ProcessId i = 0; i < spec.n; ++i)
+    result.duration = std::max(result.duration, sim.depth_of(i));
+  return result;
+}
+
+}  // namespace coincidence::coin::testing

@@ -1,0 +1,173 @@
+#include "coin/dealer_coin.h"
+
+#include <gtest/gtest.h>
+
+#include "coin_harness.h"
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::coin {
+namespace {
+
+using testing::CoinRunResult;
+using testing::CoinRunSpec;
+using testing::run_coin;
+
+struct Fixture {
+  Fixture(std::size_t n, std::size_t f, std::size_t rounds = 16,
+          std::uint64_t seed = 5)
+      : setup(std::make_shared<DealerCoinSetup>(n, f, rounds, seed)) {}
+
+  testing::CoinFactory factory(std::uint64_t round) const {
+    return [this, round](crypto::ProcessId) {
+      DealerCoin::Config cfg;
+      cfg.tag = "dealer/" + std::to_string(round);
+      cfg.round = round;
+      cfg.setup = setup;
+      return std::make_unique<DealerCoin>(cfg);
+    };
+  }
+
+  std::shared_ptr<DealerCoinSetup> setup;
+};
+
+TEST(DealerCoin, ReconstructsTheDealtBit) {
+  Fixture fx(7, 2);
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    CoinRunSpec spec;
+    spec.n = 7;
+    spec.seed = round + 1;
+    CoinRunResult r = run_coin(spec, fx.factory(round));
+    std::vector<bool> corrupted(7, false);
+    auto bit = r.unanimous(corrupted);
+    ASSERT_TRUE(bit.has_value()) << round;
+    EXPECT_EQ(*bit, fx.setup->bit_of(round)) << round;
+  }
+}
+
+TEST(DealerCoin, PerfectSuccessRateBothBitsAppear) {
+  Fixture fx(7, 2, /*rounds=*/40);
+  int ones = 0;
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    CoinRunSpec spec;
+    spec.n = 7;
+    spec.seed = round;
+    CoinRunResult r = run_coin(spec, fx.factory(round));
+    auto bit = r.unanimous(std::vector<bool>(7, false));
+    ASSERT_TRUE(bit.has_value());
+    ones += *bit;
+  }
+  EXPECT_GT(ones, 10);
+  EXPECT_LT(ones, 30);
+}
+
+TEST(DealerCoin, TerminatesWithFSilentProcesses) {
+  Fixture fx(7, 2);
+  CoinRunSpec spec;
+  spec.n = 7;
+  spec.f_budget = 2;
+  spec.corruptions = {{0, sim::FaultPlan::silent()},
+                      {1, sim::FaultPlan::crash()}};
+  CoinRunResult r = run_coin(spec, fx.factory(0));
+  std::vector<bool> corrupted(7, false);
+  corrupted[0] = corrupted[1] = true;
+  EXPECT_TRUE(r.all_returned(corrupted));
+  auto bit = r.unanimous(corrupted);
+  ASSERT_TRUE(bit.has_value());
+  EXPECT_EQ(*bit, fx.setup->bit_of(0));
+}
+
+TEST(DealerCoin, PoisonedShareIsRejected) {
+  // Byzantine process sends an altered share: the dealer MAC catches it,
+  // so reconstruction still yields the dealt bit.
+  Fixture fx(5, 1);
+  sim::SimConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.seed = 2;
+  sim::Simulation sim(cfg);
+  auto factory = fx.factory(1);
+  for (crypto::ProcessId i = 0; i < 5; ++i)
+    sim.add_process(std::make_unique<CoinHost>(factory(i)));
+  sim.corrupt(4, sim::FaultPlan::silent());
+  sim.start();
+
+  auto dealt = fx.setup->share_for(1, 4);
+  Writer w;
+  w.u64(dealt.share.x).u64(dealt.share.y + 1).blob(dealt.mac);  // poisoned y
+  for (crypto::ProcessId to = 0; to < 4; ++to)
+    sim.inject(4, to, "dealer/1/share", w.bytes(), 2);
+  sim.run();
+
+  for (crypto::ProcessId i = 0; i < 4; ++i) {
+    const auto& coin = dynamic_cast<CoinHost&>(sim.process(i)).coin();
+    ASSERT_TRUE(coin.done());
+    EXPECT_EQ(coin.output(), fx.setup->bit_of(1));
+  }
+}
+
+TEST(DealerCoin, StolenShareCannotBeReplayedAsOwn) {
+  // Byzantine 4 replays process 0's share under its own sender id: the
+  // x == from + 1 binding rejects it.
+  Fixture fx(5, 1);
+  sim::SimConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.seed = 3;
+  sim::Simulation sim(cfg);
+  auto factory = fx.factory(2);
+  for (crypto::ProcessId i = 0; i < 5; ++i)
+    sim.add_process(std::make_unique<CoinHost>(factory(i)));
+  sim.corrupt(4, sim::FaultPlan::silent());
+  sim.start();
+
+  auto stolen = fx.setup->share_for(2, 0);
+  Writer w;
+  w.u64(stolen.share.x).u64(stolen.share.y).blob(stolen.mac);
+  for (crypto::ProcessId to = 0; to < 4; ++to)
+    sim.inject(4, to, "dealer/2/share", w.bytes(), 2);
+  sim.run();
+
+  for (crypto::ProcessId i = 0; i < 4; ++i) {
+    const auto& coin = dynamic_cast<CoinHost&>(sim.process(i)).coin();
+    ASSERT_TRUE(coin.done());
+    EXPECT_EQ(coin.output(), fx.setup->bit_of(2));
+  }
+}
+
+TEST(DealerCoinSetup, DeterministicForSeed) {
+  DealerCoinSetup a(5, 1, 4, 9);
+  DealerCoinSetup b(5, 1, 4, 9);
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.bit_of(r), b.bit_of(r));
+    EXPECT_EQ(a.share_for(r, 2).share.y, b.share_for(r, 2).share.y);
+  }
+}
+
+TEST(DealerCoinSetup, VerifyShareRejectsWrongRound) {
+  DealerCoinSetup setup(5, 1, 4, 9);
+  auto dealt = setup.share_for(0, 1);
+  EXPECT_TRUE(setup.verify_share(0, dealt.share, dealt.mac));
+  EXPECT_FALSE(setup.verify_share(1, dealt.share, dealt.mac));
+  EXPECT_FALSE(setup.verify_share(99, dealt.share, dealt.mac));
+}
+
+TEST(DealerCoinSetup, BoundsChecked) {
+  DealerCoinSetup setup(5, 1, 2, 9);
+  EXPECT_THROW(setup.share_for(2, 0), PreconditionError);   // round not dealt
+  EXPECT_THROW(setup.share_for(0, 5), PreconditionError);   // bad process
+  EXPECT_THROW(setup.bit_of(2), PreconditionError);
+  EXPECT_THROW(DealerCoinSetup(3, 3, 1, 1), PreconditionError);  // n <= f
+}
+
+TEST(DealerCoin, RoundBeyondSupplyThrows) {
+  Fixture fx(5, 1, /*rounds=*/2);
+  DealerCoin::Config cfg;
+  cfg.tag = "d";
+  cfg.round = 2;
+  cfg.setup = fx.setup;
+  EXPECT_THROW(DealerCoin{cfg}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace coincidence::coin

@@ -1,0 +1,157 @@
+#include "committee/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.h"
+
+namespace coincidence::committee {
+namespace {
+
+TEST(Params, EpsilonWindowMatchesPaperFormula) {
+  std::size_t n = 100;
+  double ln_n = std::log(100.0);
+  Window w = epsilon_window(n);
+  EXPECT_DOUBLE_EQ(w.hi, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.lo,
+                   std::max(3.0 / (8.0 * ln_n), 0.109) + 1.0 / (8.0 * ln_n));
+  EXPECT_TRUE(w.feasible());
+}
+
+TEST(Params, EpsilonWindowInfeasibleForTinyN) {
+  // For very small n the lower bound exceeds 1/3.
+  Window w = epsilon_window(3);
+  EXPECT_FALSE(w.feasible());
+}
+
+TEST(Params, DWindowMatchesPaperFormula) {
+  std::size_t n = 200;
+  double lambda = 8.0 * std::log(200.0);
+  double eps = 0.2;
+  Window w = d_window(n, eps);
+  EXPECT_DOUBLE_EQ(w.lo, std::max(1.0 / lambda, 0.0362));
+  EXPECT_DOUBLE_EQ(w.hi, eps / 3.0 - 1.0 / (3.0 * lambda));
+}
+
+TEST(Params, MinFeasibleNIsStable) {
+  std::size_t n0 = min_feasible_n();
+  EXPECT_GT(n0, 2u);
+  // Both windows feasible at n0, d-window (with mid epsilon) infeasible below.
+  Window ew = epsilon_window(n0);
+  EXPECT_TRUE(ew.feasible());
+  EXPECT_TRUE(d_window(n0, ew.midpoint()).feasible());
+  if (n0 > 2) {
+    Window ew_prev = epsilon_window(n0 - 1);
+    bool prev_ok = ew_prev.feasible() &&
+                   d_window(n0 - 1, ew_prev.midpoint()).feasible();
+    EXPECT_FALSE(prev_ok);
+  }
+}
+
+TEST(Params, DeriveComputesPaperQuantities) {
+  std::size_t n = 300;
+  Params p = Params::derive_auto(n);
+  EXPECT_EQ(p.n, n);
+  EXPECT_DOUBLE_EQ(p.lambda, 8.0 * std::log(300.0));
+  EXPECT_EQ(p.f, static_cast<std::size_t>(
+                     std::floor((1.0 / 3.0 - p.epsilon) * 300.0)));
+  EXPECT_EQ(p.W, static_cast<std::size_t>(
+                     std::ceil((2.0 / 3.0 + 3.0 * p.d) * p.lambda)));
+  EXPECT_EQ(p.B, static_cast<std::size_t>(
+                     std::floor((1.0 / 3.0 - p.d) * p.lambda)));
+  EXPECT_GT(p.W, p.B);  // otherwise waiting proves nothing
+}
+
+TEST(Params, ResilienceApproaches4Point5F) {
+  // §1: n ≈ 4.5 f *asymptotically*: with ε at its lower bound,
+  // 1/(1/3 − 0.109) ≈ 4.46, but the +1/(8 ln n) slack decays slowly, so
+  // finite n sits above that and decreases monotonically toward it.
+  auto ratio_at = [](std::size_t n) {
+    Window ew = epsilon_window(n);
+    Params p = Params::derive(n, ew.lo + 1e-9,
+                              d_window(n, ew.lo + 1e-9).midpoint());
+    return static_cast<double>(p.n) / static_cast<double>(p.f);
+  };
+  double r5 = ratio_at(100000);
+  double r7 = ratio_at(10000000);
+  EXPECT_GT(r5, 4.46);
+  EXPECT_LT(r7, r5);       // converging downward…
+  EXPECT_NEAR(r7, 4.5, 0.2);  // …into the ≈4.5 regime the paper quotes
+}
+
+TEST(Params, StrictRejectsOutOfWindowEpsilon) {
+  std::size_t n = 300;
+  EXPECT_THROW(Params::derive(n, 0.05, 0.04), ConfigError);  // eps too small
+  EXPECT_THROW(Params::derive(n, 0.34, 0.04), ConfigError);  // eps >= 1/3
+}
+
+TEST(Params, StrictRejectsOutOfWindowD) {
+  std::size_t n = 300;
+  double eps = epsilon_window(n).midpoint();
+  EXPECT_THROW(Params::derive(n, eps, 0.001), ConfigError);  // below lower
+  EXPECT_THROW(Params::derive(n, eps, 0.2), ConfigError);    // above upper
+}
+
+TEST(Params, RelaxedAcceptsSmallN) {
+  Params p = Params::derive(20, 0.25, 0.05, /*strict=*/false);
+  EXPECT_EQ(p.n, 20u);
+  EXPECT_GT(p.W, 0u);
+}
+
+TEST(Params, RelaxedStillRejectsNonsense) {
+  EXPECT_THROW(Params::derive(20, 0.25, 0.0, false), ConfigError);
+  EXPECT_THROW(Params::derive(20, 0.5, 0.05, false), ConfigError);
+  EXPECT_THROW(Params::derive(1, 0.2, 0.05, false), ConfigError);
+}
+
+TEST(Params, DeriveAutoThrowsBelowFeasibleN) {
+  EXPECT_THROW(Params::derive_auto(4), ConfigError);
+}
+
+TEST(Params, SampleProbClampedToOne) {
+  Params p = Params::derive(8, 0.25, 0.05, /*strict=*/false);
+  // λ = 8 ln 8 ≈ 16.6 > n=8, so λ/n clamps to 1.
+  EXPECT_DOUBLE_EQ(p.sample_prob(), 1.0);
+}
+
+TEST(Bounds, CoinSuccessRateMatchesPaperValues) {
+  // Remark 4.10: ε = 1/3 gives exactly 1/2 (perfect coin).
+  EXPECT_NEAR(coin_success_lower_bound(1.0 / 3.0), 0.5, 1e-12);
+  // At the lower resilience edge ε ≈ 0.109 the rate is a positive constant.
+  EXPECT_GT(coin_success_lower_bound(0.109), 0.0);
+  // Monotone increasing in ε.
+  EXPECT_LT(coin_success_lower_bound(0.12), coin_success_lower_bound(0.2));
+}
+
+TEST(Bounds, WhpCoinSuccessRatePositiveAboveDLowerBound) {
+  EXPECT_GT(whp_coin_success_lower_bound(0.0362), 0.0);
+  EXPECT_LT(whp_coin_success_lower_bound(0.036),
+            whp_coin_success_lower_bound(0.1));
+}
+
+TEST(Bounds, ChernoffBoundsDecreaseWithLambda) {
+  for (auto bound : {s1_failure_bound, s2_failure_bound}) {
+    EXPECT_LT(bound(80.0, 0.05), bound(40.0, 0.05));
+    EXPECT_LT(bound(40.0, 0.05), 1.0);
+  }
+  EXPECT_LT(s3_failure_bound(80.0, 0.04, 0.2), s3_failure_bound(40.0, 0.04, 0.2));
+  EXPECT_LT(s4_failure_bound(80.0, 0.04, 0.2), s4_failure_bound(40.0, 0.04, 0.2));
+}
+
+TEST(Bounds, S3S4DegenerateOutsideHypothesis) {
+  // If d' >= epsilon the S3 lemma gives nothing: bound reports 1.
+  EXPECT_DOUBLE_EQ(s3_failure_bound(40.0, 0.2, 0.11), 1.0);
+  EXPECT_DOUBLE_EQ(s4_failure_bound(40.0, 0.2, 0.11), 1.0);
+}
+
+TEST(Bounds, DescribeMentionsKeyFields) {
+  Params p = Params::derive_auto(300);
+  std::string s = p.describe();
+  EXPECT_NE(s.find("n=300"), std::string::npos);
+  EXPECT_NE(s.find("W="), std::string::npos);
+  EXPECT_NE(s.find("B="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coincidence::committee

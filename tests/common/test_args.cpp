@@ -1,0 +1,60 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace coincidence {
+namespace {
+
+Args make_args(std::vector<std::string> argv) {
+  std::vector<char*> ptrs;
+  static std::vector<std::string> storage;  // keep strings alive
+  storage = std::move(argv);
+  ptrs.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, EqualsForm) {
+  Args a = make_args({"--n=64", "--eps=0.12"});
+  EXPECT_EQ(a.get_int("n", 0), 64);
+  EXPECT_DOUBLE_EQ(a.get_double("eps", 0), 0.12);
+}
+
+TEST(Args, SpaceForm) {
+  Args a = make_args({"--n", "32"});
+  EXPECT_EQ(a.get_int("n", 0), 32);
+}
+
+TEST(Args, BooleanFlag) {
+  Args a = make_args({"--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(Args, Defaults) {
+  Args a = make_args({});
+  EXPECT_EQ(a.get("name", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+  EXPECT_TRUE(a.get_bool("b", true));
+}
+
+TEST(Args, Positional) {
+  Args a = make_args({"cmd", "--k=v", "arg2"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "cmd");
+  EXPECT_EQ(a.positional()[1], "arg2");
+}
+
+TEST(Args, BoolParsing) {
+  Args a = make_args({"--x=yes", "--y=0", "--z=true"});
+  EXPECT_TRUE(a.get_bool("x", false));
+  EXPECT_FALSE(a.get_bool("y", true));
+  EXPECT_TRUE(a.get_bool("z", false));
+}
+
+}  // namespace
+}  // namespace coincidence

@@ -1,0 +1,81 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace coincidence {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("AB"), Bytes{0xab});
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), CodecError);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), CodecError);
+  EXPECT_THROW(from_hex("0g"), CodecError);
+}
+
+TEST(Bytes, BytesOfString) {
+  Bytes b = bytes_of("abc");
+  EXPECT_EQ(b, (Bytes{'a', 'b', 'c'}));
+}
+
+TEST(Bytes, U64RoundTrip) {
+  std::uint64_t v = 0x0123456789abcdefULL;
+  Bytes b = bytes_of_u64(v);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[7], 0xef);
+  EXPECT_EQ(u64_of_bytes(b), v);
+}
+
+TEST(Bytes, U64Zero) {
+  EXPECT_EQ(u64_of_bytes(bytes_of_u64(0)), 0u);
+}
+
+TEST(Bytes, U64Max) {
+  EXPECT_EQ(u64_of_bytes(bytes_of_u64(~0ULL)), ~0ULL);
+}
+
+TEST(Bytes, Concat) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = concat({BytesView(a), BytesView(b), BytesView(a)});
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 1, 2}));
+}
+
+TEST(Bytes, Append) {
+  Bytes a = {1};
+  append(a, Bytes{2, 3});
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, CtEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace coincidence

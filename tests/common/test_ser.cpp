@@ -1,0 +1,84 @@
+#include "common/ser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace coincidence {
+namespace {
+
+TEST(Ser, RoundTripAllTypes) {
+  Writer w;
+  w.u8(7).u32(0xdeadbeef).u64(0x0123456789abcdefULL).blob(Bytes{1, 2, 3}).str("hello");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(Ser, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.bytes(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Ser, EmptyBlob) {
+  Writer w;
+  w.blob({});
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.blob().empty());
+  r.done();
+}
+
+TEST(Ser, TruncatedU64Throws) {
+  Bytes data{1, 2, 3};
+  Reader r(data);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Ser, TruncatedBlobThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  Reader r(w.bytes());
+  EXPECT_THROW(r.blob(), CodecError);
+}
+
+TEST(Ser, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1).u8(2);
+  Reader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.done(), CodecError);
+}
+
+TEST(Ser, EmptyReaderIsDone) {
+  Reader r(Bytes{});
+  EXPECT_TRUE(r.empty());
+  EXPECT_NO_THROW(r.done());
+}
+
+TEST(Ser, ReadPastEndThrows) {
+  Reader r(Bytes{});
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(Ser, NestedBlobs) {
+  Writer inner;
+  inner.u32(99).str("x");
+  Writer outer;
+  outer.blob(inner.bytes()).u8(5);
+  Reader r(outer.bytes());
+  Bytes blob = r.blob();
+  EXPECT_EQ(r.u8(), 5);
+  r.done();
+  Reader ri(blob);
+  EXPECT_EQ(ri.u32(), 99u);
+  EXPECT_EQ(ri.str(), "x");
+  ri.done();
+}
+
+}  // namespace
+}  // namespace coincidence

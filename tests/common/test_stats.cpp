@@ -1,0 +1,157 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace coincidence {
+namespace {
+
+TEST(Stats, SummaryBasics) {
+  Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarySingle) {
+  Summary s = summarize({42});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 10.0);
+}
+
+TEST(Stats, PercentileRejectsBadQ) {
+  std::vector<double> v{1};
+  EXPECT_THROW(percentile_sorted(v, -0.1), PreconditionError);
+  EXPECT_THROW(percentile_sorted(v, 1.1), PreconditionError);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile_sorted({}, 0.5), PreconditionError);
+}
+
+TEST(Stats, WilsonIntervalContainsP) {
+  Interval iv = wilson_interval(50, 100);
+  EXPECT_LT(iv.lo, 0.5);
+  EXPECT_GT(iv.hi, 0.5);
+  EXPECT_GT(iv.lo, 0.35);
+  EXPECT_LT(iv.hi, 0.65);
+}
+
+TEST(Stats, WilsonIntervalEdges) {
+  Interval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_LT(zero.hi, 0.1);
+  Interval all = wilson_interval(100, 100);
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  Interval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(Stats, WilsonNarrowsWithSamples) {
+  Interval small = wilson_interval(5, 10);
+  Interval big = wilson_interval(500, 1000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+}
+
+TEST(Stats, FitLineExact) {
+  LinearFit f = fit_line({1, 2, 3}, {3, 5, 7});  // y = 1 + 2x
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+}
+
+TEST(Stats, FitLineRejectsDegenerate) {
+  EXPECT_THROW(fit_line({1}, {2}), PreconditionError);
+  EXPECT_THROW(fit_line({1, 1}, {2, 3}), PreconditionError);
+  EXPECT_THROW(fit_line({1, 2}, {1}), PreconditionError);
+}
+
+TEST(Stats, LogLogSlopeQuadratic) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), 2.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeNlogn) {
+  std::vector<double> xs, ys;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    xs.push_back(x);
+    ys.push_back(x * std::log(x));
+  }
+  double slope = loglog_slope(xs, ys);
+  EXPECT_GT(slope, 1.0);
+  EXPECT_LT(slope, 1.4);
+}
+
+TEST(Stats, LogLogSlopeSkipsNonPositive) {
+  double slope = loglog_slope({0.0, 2.0, 4.0, 8.0}, {5.0, 2.0, 4.0, 8.0});
+  EXPECT_NEAR(slope, 1.0, 1e-9);  // the x=0 point must be ignored
+}
+
+}  // namespace
+}  // namespace coincidence
+
+namespace coincidence {
+namespace {
+
+TEST(Histogram, CountsAndSummary) {
+  Histogram h;
+  for (std::uint64_t v : {0, 0, 1, 3, 3, 3}) h.add(v);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 3u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.max_value(), 3u);
+  EXPECT_EQ(h.summary(), "0:2 1:1 3:3");
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.summary(), "");
+  std::ostringstream os;
+  h.print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Histogram, PrintScalesBars) {
+  Histogram h;
+  for (int i = 0; i < 40; ++i) h.add(1);
+  h.add(2);
+  std::ostringstream os;
+  h.print(os, 40);
+  std::string out = os.str();
+  EXPECT_NE(out.find("1 | ######################################## 40"),
+            std::string::npos);
+  EXPECT_NE(out.find("2 | # 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coincidence

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace coincidence {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"proto", "words"});
+  t.add_row({"ours", "123"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("ours"), std::string::npos);
+  EXPECT_NE(out.find("123"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x"});
+  t.add_row({"longer-cell"});
+  std::ostringstream os;
+  t.print(os);
+  // header line must be padded to the widest cell
+  std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("| longer-cell |").size());
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, CountFormatting) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1 000");
+  EXPECT_EQ(Table::count(1234567), "1 234 567");
+}
+
+TEST(Table, RowsCounter) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace coincidence

@@ -1,0 +1,194 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/coin_runner.h"
+
+namespace coincidence::core {
+namespace {
+
+TEST(Env, MakeRelaxedWiresEverything) {
+  Env env = Env::make_relaxed(40, 9);
+  EXPECT_EQ(env.n(), 40u);
+  EXPECT_TRUE(env.registry && env.vrf && env.sampler && env.signer);
+  EXPECT_GT(env.params.W, env.params.B);
+}
+
+TEST(Env, MakeAutoEnforcesWindows) {
+  // Below the feasibility threshold the windows are empty.
+  EXPECT_THROW(Env::make_auto(3, 1), ConfigError);
+  Env env = Env::make_auto(committee::min_feasible_n(), 1);
+  // At the midpoint epsilon, f = (1/3 - eps) n may round to zero for tiny
+  // n; the point is that construction succeeds with valid thresholds.
+  EXPECT_GT(env.params.W, env.params.B);
+}
+
+TEST(Env, DeterministicKeys) {
+  Env a = Env::make_relaxed(16, 5);
+  Env b = Env::make_relaxed(16, 5);
+  EXPECT_EQ(a.registry->pk_of(3), b.registry->pk_of(3));
+}
+
+TEST(ProtocolRegistry, NamesRoundTrip) {
+  for (Protocol p : all_protocols()) {
+    auto back = protocol_from_name(protocol_name(p));
+    ASSERT_TRUE(back.has_value()) << protocol_name(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(protocol_from_name("nonsense").has_value());
+}
+
+TEST(Runner, EveryProtocolDecidesUnanimousInput) {
+  for (Protocol p : all_protocols()) {
+    RunOptions o;
+    o.protocol = p;
+    o.n = std::max<std::size_t>(min_n_for(p), p == Protocol::kBaWhp ? 48 : 10);
+    o.seed = 77;
+    o.inputs.assign(o.n, ba::kOne);
+    RunReport r = run_agreement(o);
+    EXPECT_TRUE(r.all_correct_decided) << protocol_name(p);
+    ASSERT_TRUE(r.decision.has_value()) << protocol_name(p);
+    EXPECT_EQ(*r.decision, 1) << protocol_name(p);
+    EXPECT_TRUE(r.agreement) << protocol_name(p);
+    EXPECT_GT(r.correct_words, 0u) << protocol_name(p);
+  }
+}
+
+TEST(Runner, FaultMixAppliedToHighIds) {
+  RunOptions o;
+  o.protocol = Protocol::kMmrSharedCoin;
+  o.n = 10;
+  o.crash = 1;
+  o.silent = 1;
+  o.junk = 1;
+  o.seed = 5;
+  o.inputs.assign(10, ba::kZero);
+  RunReport r = run_agreement(o);
+  EXPECT_EQ(r.faulty, 3u);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_EQ(*r.decision, 0);
+}
+
+TEST(Runner, RejectsOverBudgetFaults) {
+  RunOptions o;
+  o.protocol = Protocol::kBenOr;  // f = (n-1)/5 = 1 at n = 10
+  o.n = 10;
+  o.crash = 2;
+  EXPECT_THROW(run_agreement(o), PreconditionError);
+}
+
+TEST(Runner, RejectsTooSmallN) {
+  RunOptions o;
+  o.protocol = Protocol::kBaWhp;
+  o.n = 8;
+  EXPECT_THROW(run_agreement(o), PreconditionError);
+}
+
+TEST(Runner, AdversaryKindsAllComplete) {
+  for (AdversaryKind a :
+       {AdversaryKind::kRandom, AdversaryKind::kFifo,
+        AdversaryKind::kDelaySenders, AdversaryKind::kSplit,
+        AdversaryKind::kHeavyTail}) {
+    RunOptions o;
+    o.protocol = Protocol::kMmrSharedCoin;
+    o.n = 10;
+    o.seed = 31;
+    o.adversary = a;
+    o.inputs.assign(10, ba::kOne);
+    RunReport r = run_agreement(o);
+    EXPECT_TRUE(r.all_correct_decided) << adversary_name(a);
+    EXPECT_EQ(*r.decision, 1) << adversary_name(a);
+  }
+}
+
+TEST(Runner, WordsByTagBucketsPopulated) {
+  RunOptions o;
+  o.protocol = Protocol::kBaWhp;
+  o.n = 48;
+  o.inputs.assign(48, ba::kZero);
+  // Retry across seeds: individual small-n runs may hit the whp-failure
+  // tail; we only need one decided run to audit the metric buckets.
+  RunReport r;
+  for (std::uint64_t seed = 1; seed <= 5 && !r.all_correct_decided; ++seed) {
+    o.seed = seed;
+    r = run_agreement(o);
+  }
+  ASSERT_TRUE(r.all_correct_decided);
+  EXPECT_FALSE(r.words_by_tag.empty());
+  std::uint64_t sum = 0;
+  for (const auto& [tag, words] : r.words_by_tag) sum += words;
+  EXPECT_EQ(sum, r.correct_words);
+}
+
+TEST(CoinRunner, AllKindsReturnAndMostlyAgree) {
+  for (CoinKind k : {CoinKind::kShared, CoinKind::kWhp, CoinKind::kDealer}) {
+    int agreed = 0, returned = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      CoinOptions o;
+      o.kind = k;
+      o.n = 48;
+      o.seed = 40 + seed;
+      o.round = seed;
+      CoinReport r = run_coin_trial(o);
+      returned += r.all_returned;
+      agreed += r.agreed_bit.has_value();
+    }
+    EXPECT_GE(returned, 9) << coin_name(k);
+    EXPECT_GE(agreed, 7) << coin_name(k);
+  }
+}
+
+TEST(CoinRunner, DealerCoinIsPerfect) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CoinOptions o;
+    o.kind = CoinKind::kDealer;
+    o.n = 16;
+    o.seed = seed;
+    CoinReport r = run_coin_trial(o);
+    EXPECT_TRUE(r.agreed_bit.has_value()) << seed;
+  }
+}
+
+TEST(CoinRunner, IllegalBiasAdversarySkewsTheCoin) {
+  // E6 in miniature: the content-aware adversary forces its bit far more
+  // often than a fair coin would land on it.
+  int biased_hits = 0, legal_hits = 0, biased_done = 0, legal_done = 0;
+  const int kRuns = 40;
+  for (std::uint64_t seed = 0; seed < kRuns; ++seed) {
+    CoinOptions o;
+    o.kind = CoinKind::kShared;
+    o.n = 24;
+    o.seed = 900 + seed;
+    o.round = seed;
+    CoinReport legal = run_coin_trial(o);
+    if (legal.agreed_bit) {
+      ++legal_done;
+      legal_hits += (*legal.agreed_bit == 0);
+    }
+    o.content_aware_bias = true;
+    o.bias_toward = 0;
+    o.bias_budget = 2;  // = f at (n=24, eps=0.25)
+    o.fairness_bound = 4000;  // wide-but-finite delays (still async-legal)
+    CoinReport biased = run_coin_trial(o);
+    if (biased.agreed_bit) {
+      ++biased_done;
+      biased_hits += (*biased.agreed_bit == 0);
+    }
+  }
+  ASSERT_GT(legal_done, kRuns / 2);
+  ASSERT_GT(biased_done, kRuns / 2);
+  double legal_rate = static_cast<double>(legal_hits) / legal_done;
+  double biased_rate = static_cast<double>(biased_hits) / biased_done;
+  EXPECT_GT(biased_rate, legal_rate + 0.1);
+  EXPECT_GT(biased_rate, 0.65);
+}
+
+TEST(CoinRunner, NamesAreStable) {
+  EXPECT_STREQ(coin_name(CoinKind::kShared), "shared-coin");
+  EXPECT_STREQ(coin_name(CoinKind::kWhp), "whp-coin");
+  EXPECT_STREQ(coin_name(CoinKind::kDealer), "dealer-coin");
+}
+
+}  // namespace
+}  // namespace coincidence::core

@@ -1,0 +1,78 @@
+// Multi-instance sessions: many concurrent BA slots over ONE trusted
+// setup (§3's "setup occurs once" property), interleaved on one network.
+#include <gtest/gtest.h>
+
+#include "ba/instance_mux.h"
+#include "common/errors.h"
+#include "core/session.h"
+
+namespace coincidence::core {
+namespace {
+
+TEST(Session, ConcurrentSlotsAllDecideCorrectly) {
+  Session session(Env::make_relaxed(48, 11));
+  // Slot 0: unanimous 1; slot 1: unanimous 0; slot 2: split.
+  std::vector<std::vector<ba::Value>> inputs(3,
+                                             std::vector<ba::Value>(48, 0));
+  inputs[0].assign(48, ba::kOne);
+  for (std::size_t i = 0; i < 24; ++i) inputs[2][i] = ba::kOne;
+
+  SessionReport r = session.run_concurrent_slots(inputs, /*seed=*/5);
+  ASSERT_EQ(r.slots.size(), 3u);
+  ASSERT_TRUE(r.all_slots_decided());
+  EXPECT_EQ(*r.slots[0].decision, 1);  // validity
+  EXPECT_EQ(*r.slots[1].decision, 0);  // validity
+  EXPECT_TRUE(r.slots[2].decision.has_value());  // agreement on either
+  for (const auto& s : r.slots) EXPECT_TRUE(s.agreement);
+}
+
+TEST(Session, SlotsAreIndependentDespiteSharedSetup) {
+  // Same keys, different slot tags => different committees per slot, and
+  // the decisions of unanimous slots never leak across.
+  Session session(Env::make_relaxed(48, 12));
+  const auto& sampler = *session.env().sampler;
+  std::vector<crypto::ProcessId> c0, c1;
+  for (crypto::ProcessId i = 0; i < 48; ++i) {
+    if (sampler.sample(i, "slot0/0/a1/init").sampled) c0.push_back(i);
+    if (sampler.sample(i, "slot1/0/a1/init").sampled) c1.push_back(i);
+  }
+  EXPECT_NE(c0, c1);  // fresh committees from one PKI
+
+  std::vector<std::vector<ba::Value>> inputs;
+  inputs.push_back(std::vector<ba::Value>(48, ba::kOne));
+  inputs.push_back(std::vector<ba::Value>(48, ba::kZero));
+  SessionReport r = session.run_concurrent_slots(inputs, 6);
+  ASSERT_TRUE(r.all_slots_decided());
+  EXPECT_EQ(*r.slots[0].decision, 1);
+  EXPECT_EQ(*r.slots[1].decision, 0);
+}
+
+TEST(Session, ToleratesSilentFaultsAcrossAllSlots) {
+  Session session(Env::make_relaxed(60, 13));
+  std::vector<std::vector<ba::Value>> inputs(2,
+                                             std::vector<ba::Value>(60, 1));
+  SessionReport r =
+      session.run_concurrent_slots(inputs, 7, /*silent_faults=*/3);
+  ASSERT_TRUE(r.all_slots_decided());
+  EXPECT_EQ(*r.slots[0].decision, 1);
+  EXPECT_EQ(*r.slots[1].decision, 1);
+}
+
+TEST(Session, RejectsBadShapes) {
+  Session session(Env::make_relaxed(48, 14));
+  EXPECT_THROW(session.run_concurrent_slots({}, 1), PreconditionError);
+  std::vector<std::vector<ba::Value>> wrong_n(1,
+                                              std::vector<ba::Value>(10, 0));
+  EXPECT_THROW(session.run_concurrent_slots(wrong_n, 1), PreconditionError);
+}
+
+TEST(InstanceMux, RoutesByPrefixAndRejectsDuplicates) {
+  ba::InstanceMux mux;
+  EXPECT_THROW(mux.add_instance("", nullptr), PreconditionError);
+  EXPECT_THROW(mux.instance("nope"), PreconditionError);
+  EXPECT_THROW(mux.add_instance("a/b", nullptr), PreconditionError);
+  EXPECT_EQ(mux.instance_count(), 0u);
+}
+
+}  // namespace
+}  // namespace coincidence::core

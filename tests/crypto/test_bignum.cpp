@@ -1,0 +1,221 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "common/rng.h"
+
+namespace coincidence::crypto {
+namespace {
+
+TEST(Bignum, ZeroProperties) {
+  Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_TRUE(z.to_bytes_be().empty());
+}
+
+TEST(Bignum, FromU64) {
+  Bignum v(0x1234);
+  EXPECT_EQ(v.to_hex(), "1234");
+  EXPECT_EQ(v.low_u64(), 0x1234u);
+  EXPECT_EQ(v.bit_length(), 13u);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  std::string h = "deadbeefcafebabe0123456789abcdef00ff";
+  EXPECT_EQ(Bignum::from_hex(h).to_hex(), h);
+}
+
+TEST(Bignum, OddLengthHex) {
+  EXPECT_EQ(Bignum::from_hex("f").low_u64(), 15u);
+  EXPECT_EQ(Bignum::from_hex("abc").low_u64(), 0xabcu);
+}
+
+TEST(Bignum, BytesRoundTripWithPadding) {
+  Bignum v(0xff);
+  Bytes b = v.to_bytes_be(4);
+  EXPECT_EQ(b, (Bytes{0, 0, 0, 0xff}));
+  EXPECT_EQ(Bignum::from_bytes_be(b), v);
+}
+
+TEST(Bignum, LeadingZeroBytesNormalized) {
+  Bytes b{0, 0, 1, 2};
+  Bignum v = Bignum::from_bytes_be(b);
+  EXPECT_EQ(v.to_hex(), "102");
+}
+
+TEST(Bignum, Comparisons) {
+  Bignum a(5), b(7);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+  Bignum big = Bignum::from_hex("100000000000000000000000000000000");
+  EXPECT_TRUE(b < big);
+}
+
+TEST(Bignum, AddCarriesAcrossLimbs) {
+  Bignum max64 = Bignum::from_hex("ffffffffffffffff");
+  Bignum sum = max64 + Bignum(1);
+  EXPECT_EQ(sum.to_hex(), "10000000000000000");
+}
+
+TEST(Bignum, SubBorrowsAcrossLimbs) {
+  Bignum big = Bignum::from_hex("10000000000000000");
+  EXPECT_EQ((big - Bignum(1)).to_hex(), "ffffffffffffffff");
+}
+
+TEST(Bignum, SubUnderflowThrows) {
+  EXPECT_THROW(Bignum(1) - Bignum(2), PreconditionError);
+}
+
+TEST(Bignum, MulKnownProduct) {
+  Bignum a = Bignum::from_hex("ffffffffffffffff");
+  Bignum sq = a * a;
+  EXPECT_EQ(sq.to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(Bignum, MulByZero) {
+  Bignum a = Bignum::from_hex("123456789");
+  EXPECT_TRUE((a * Bignum()).is_zero());
+  EXPECT_TRUE((Bignum() * a).is_zero());
+}
+
+TEST(Bignum, Shifts) {
+  Bignum one(1);
+  EXPECT_EQ((one << 64).to_hex(), "10000000000000000");
+  EXPECT_EQ(((one << 130) >> 130), one);
+  EXPECT_TRUE((one >> 1).is_zero());
+  Bignum v = Bignum::from_hex("f0f0");
+  EXPECT_EQ((v << 4).to_hex(), "f0f00");
+  EXPECT_EQ((v >> 4).to_hex(), "f0f");
+}
+
+TEST(Bignum, DivModSmall) {
+  auto dm = divmod(Bignum(100), Bignum(7));
+  EXPECT_EQ(dm.quotient.low_u64(), 14u);
+  EXPECT_EQ(dm.remainder.low_u64(), 2u);
+}
+
+TEST(Bignum, DivByZeroThrows) {
+  EXPECT_THROW(Bignum(1) / Bignum(), PreconditionError);
+  EXPECT_THROW(Bignum(1) % Bignum(), PreconditionError);
+}
+
+TEST(Bignum, DivSmallerThanDivisor) {
+  auto dm = divmod(Bignum(3), Bignum::from_hex("ffffffffffffffffff"));
+  EXPECT_TRUE(dm.quotient.is_zero());
+  EXPECT_EQ(dm.remainder.low_u64(), 3u);
+}
+
+TEST(Bignum, DivisionIdentityRandomized) {
+  // Property: u = q*v + r with r < v, across many random widths.
+  Rng rng(12345);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::size_t ulen = 1 + rng.next_below(40);
+    std::size_t vlen = 1 + rng.next_below(ulen);
+    Bignum u = Bignum::from_bytes_be(rng.next_bytes(ulen));
+    Bignum v = Bignum::from_bytes_be(rng.next_bytes(vlen));
+    if (v.is_zero()) continue;
+    auto dm = divmod(u, v);
+    EXPECT_TRUE(dm.remainder < v);
+    EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  }
+}
+
+TEST(Bignum, KnuthDAddBackCase) {
+  // A divisor crafted so the qhat estimate overshoots and the D6 add-back
+  // path executes (top limbs of dividend just below divisor pattern).
+  Bignum u = Bignum::from_hex("7fffffffffffffff8000000000000000"
+                              "00000000000000000000000000000000");
+  Bignum v = Bignum::from_hex("800000000000000000000000000000000001");
+  auto dm = divmod(u, v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_TRUE(dm.remainder < v);
+}
+
+TEST(Bignum, ModExpSmallKnown) {
+  // 3^7 mod 10 = 2187 mod 10 = 7
+  EXPECT_EQ(Bignum::mod_exp(Bignum(3), Bignum(7), Bignum(10)).low_u64(), 7u);
+}
+
+TEST(Bignum, ModExpFermat) {
+  // a^(p-1) = 1 mod p for prime p = 1000003 and a not divisible by p.
+  Bignum p(1000003);
+  for (std::uint64_t a : {2ULL, 3ULL, 999999ULL}) {
+    EXPECT_EQ(Bignum::mod_exp(Bignum(a), p - Bignum(1), p), Bignum(1));
+  }
+}
+
+TEST(Bignum, ModExpEdgeCases) {
+  EXPECT_EQ(Bignum::mod_exp(Bignum(5), Bignum(), Bignum(7)), Bignum(1));  // e=0
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(5), Bignum(3), Bignum(1)).is_zero());  // m=1
+  EXPECT_TRUE(Bignum::mod_exp(Bignum(), Bignum(5), Bignum(7)).is_zero());  // 0^e
+}
+
+TEST(Bignum, ModInvSmall) {
+  // 3 * 5 = 15 = 1 mod 7
+  EXPECT_EQ(Bignum::mod_inv(Bignum(3), Bignum(7)), Bignum(5));
+}
+
+TEST(Bignum, ModInvRandomized) {
+  Rng rng(777);
+  Bignum p(1000003);  // prime modulus => everything nonzero invertible
+  for (int i = 0; i < 200; ++i) {
+    Bignum a(1 + rng.next_below(1000002));
+    Bignum inv = Bignum::mod_inv(a, p);
+    EXPECT_EQ(Bignum::mul_mod(a, inv, p), Bignum(1));
+  }
+}
+
+TEST(Bignum, ModInvNotInvertibleThrows) {
+  EXPECT_THROW(Bignum::mod_inv(Bignum(4), Bignum(8)), PreconditionError);
+}
+
+TEST(Bignum, Gcd) {
+  EXPECT_EQ(Bignum::gcd(Bignum(48), Bignum(36)), Bignum(12));
+  EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(13)), Bignum(1));
+  EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)), Bignum(5));
+}
+
+TEST(Bignum, AddSubModInvariants) {
+  Rng rng(99);
+  Bignum m = Bignum::from_hex("ffffffffffffffffffffffc5");  // arbitrary modulus
+  for (int i = 0; i < 100; ++i) {
+    Bignum a = Bignum::from_bytes_be(rng.next_bytes(12)) % m;
+    Bignum b = Bignum::from_bytes_be(rng.next_bytes(12)) % m;
+    Bignum s = Bignum::add_mod(a, b, m);
+    EXPECT_TRUE(s < m);
+    EXPECT_EQ(Bignum::sub_mod(s, b, m), a);
+  }
+}
+
+TEST(Bignum, RingAxiomsRandomized) {
+  // (a+b)*c == a*c + b*c ; a*b == b*a ; (a*b)*c == a*(b*c)
+  Rng rng(2024);
+  for (int i = 0; i < 100; ++i) {
+    Bignum a = Bignum::from_bytes_be(rng.next_bytes(1 + rng.next_below(24)));
+    Bignum b = Bignum::from_bytes_be(rng.next_bytes(1 + rng.next_below(24)));
+    Bignum c = Bignum::from_bytes_be(rng.next_bytes(1 + rng.next_below(24)));
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+  }
+}
+
+TEST(Bignum, BitAccess) {
+  Bignum v = Bignum::from_hex("5");  // 101b
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_FALSE(v.bit(1000));
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

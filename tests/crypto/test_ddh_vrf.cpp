@@ -1,0 +1,145 @@
+#include "crypto/ddh_vrf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/ser.h"
+
+namespace coincidence::crypto {
+namespace {
+
+class DdhVrfTest : public ::testing::Test {
+ protected:
+  static const DdhVrf& vrf() {
+    static const DdhVrf v{PrimeGroup::generate(128, 11)};
+    return v;
+  }
+  static const VrfKeyPair& keys() {
+    static const VrfKeyPair kp = [] {
+      Rng rng(1);
+      return vrf().keygen(rng);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(DdhVrfTest, HonestEvalVerifies) {
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("round-1"));
+  EXPECT_TRUE(vrf().verify(keys().pk, bytes_of("round-1"), out));
+}
+
+TEST_F(DdhVrfTest, EvalIsDeterministic) {
+  VrfOutput a = vrf().eval(keys().sk, bytes_of("x"));
+  VrfOutput b = vrf().eval(keys().sk, bytes_of("x"));
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.proof, b.proof);
+}
+
+TEST_F(DdhVrfTest, OutputDependsOnInput) {
+  EXPECT_NE(vrf().eval(keys().sk, bytes_of("a")).value,
+            vrf().eval(keys().sk, bytes_of("b")).value);
+}
+
+TEST_F(DdhVrfTest, OutputDependsOnKey) {
+  Rng rng(2);
+  VrfKeyPair other = vrf().keygen(rng);
+  EXPECT_NE(vrf().eval(keys().sk, bytes_of("x")).value,
+            vrf().eval(other.sk, bytes_of("x")).value);
+}
+
+TEST_F(DdhVrfTest, WrongInputRejected) {
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("a"));
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("b"), out));
+}
+
+TEST_F(DdhVrfTest, WrongKeyRejected) {
+  Rng rng(3);
+  VrfKeyPair other = vrf().keygen(rng);
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  EXPECT_FALSE(vrf().verify(other.pk, bytes_of("x"), out));
+}
+
+TEST_F(DdhVrfTest, TamperedValueRejected) {
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  out.value[0] ^= 0x01;
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), out));
+}
+
+TEST_F(DdhVrfTest, TamperedProofRejected) {
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  for (std::size_t pos : {std::size_t{5}, out.proof.size() / 2, out.proof.size() - 1}) {
+    VrfOutput bad = out;
+    bad.proof[pos] ^= 0xff;
+    EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), bad)) << pos;
+  }
+}
+
+TEST_F(DdhVrfTest, GarbageProofRejectedNotCrash) {
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  out.proof = bytes_of("not a proof at all");
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), out));
+  out.proof.clear();
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), out));
+}
+
+TEST_F(DdhVrfTest, UniquenessForgingDifferentValueFails) {
+  // An adversary who keeps the honest proof but swaps in a different value
+  // (or vice versa) must be rejected: the value is bound to Γ via H2.
+  VrfOutput honest = vrf().eval(keys().sk, bytes_of("x"));
+  VrfOutput other = vrf().eval(keys().sk, bytes_of("y"));
+  VrfOutput frankenstein{other.value, honest.proof};
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), frankenstein));
+}
+
+TEST_F(DdhVrfTest, SmallOrderGammaRejected) {
+  // Substitute Γ = p-1 (the order-2 element): must fail the subgroup check.
+  const PrimeGroup& g = vrf().group();
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  Reader r(out.proof);
+  (void)r.blob();  // discard honest gamma
+  Bytes c = r.blob();
+  Bytes s = r.blob();
+  Writer forged;
+  forged.blob(g.encode(g.p() - Bignum(1))).blob(c).blob(s);
+  VrfOutput bad{out.value, forged.take()};
+  EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), bad));
+}
+
+TEST_F(DdhVrfTest, ValuesLookUniform) {
+  // First byte of outputs over many inputs should spread.
+  std::set<std::uint8_t> first_bytes;
+  for (int i = 0; i < 64; ++i) {
+    VrfOutput out = vrf().eval(keys().sk, bytes_of_u64(i));
+    first_bytes.insert(out.value[0]);
+  }
+  EXPECT_GT(first_bytes.size(), 40u);
+}
+
+TEST_F(DdhVrfTest, KeygenProducesValidKeys) {
+  Rng rng(99);
+  for (int i = 0; i < 5; ++i) {
+    VrfKeyPair kp = vrf().keygen(rng);
+    VrfOutput out = vrf().eval(kp.sk, bytes_of("probe"));
+    EXPECT_TRUE(vrf().verify(kp.pk, bytes_of("probe"), out));
+  }
+}
+
+TEST_F(DdhVrfTest, ValueSizeIs32) {
+  EXPECT_EQ(vrf().value_size(), 32u);
+  VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
+  EXPECT_EQ(out.value.size(), 32u);
+}
+
+TEST(DdhVrfHelpers, ValueAsU64AndUnitDouble) {
+  Bytes v(32, 0);
+  v[0] = 0x80;
+  EXPECT_EQ(vrf_value_as_u64(v), 0x8000000000000000ULL);
+  double d = vrf_value_as_unit_double(v);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+  EXPECT_NEAR(d, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

@@ -1,0 +1,71 @@
+#include "crypto/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace coincidence::crypto {
+namespace {
+
+TEST(Prime, SmallPrimesAccepted) {
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 7919ULL})
+    EXPECT_TRUE(is_probable_prime(Bignum(p))) << p;
+}
+
+TEST(Prime, SmallCompositesRejected) {
+  for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 9ULL, 100ULL, 7917ULL})
+    EXPECT_FALSE(is_probable_prime(Bignum(c))) << c;
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL, 825265ULL})
+    EXPECT_FALSE(is_probable_prime(Bignum(c))) << c;
+}
+
+TEST(Prime, LargeKnownPrime) {
+  // 2^89 - 1 is a Mersenne prime.
+  Bignum m89 = (Bignum(1) << 89) - Bignum(1);
+  EXPECT_TRUE(is_probable_prime(m89));
+}
+
+TEST(Prime, LargeKnownComposite) {
+  // 2^83 - 1 = 167 * ... is composite.
+  Bignum m83 = (Bignum(1) << 83) - Bignum(1);
+  EXPECT_FALSE(is_probable_prime(m83));
+}
+
+TEST(Prime, ProductOfTwoPrimesRejected) {
+  Bignum p(1000003), q(1000033);
+  EXPECT_FALSE(is_probable_prime(p * q));
+}
+
+TEST(Prime, GenerateSafePrime64) {
+  SafePrime sp = generate_safe_prime(64, 1);
+  EXPECT_EQ(sp.p.bit_length(), 64u);
+  EXPECT_EQ(sp.p, (sp.q << 1) + Bignum(1));
+  EXPECT_TRUE(is_probable_prime(sp.p));
+  EXPECT_TRUE(is_probable_prime(sp.q));
+}
+
+TEST(Prime, GenerateSafePrime128Deterministic) {
+  SafePrime a = generate_safe_prime(128, 42);
+  SafePrime b = generate_safe_prime(128, 42);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.p.bit_length(), 128u);
+}
+
+TEST(Prime, GenerateSafePrimeDifferentSeeds) {
+  SafePrime a = generate_safe_prime(64, 1);
+  SafePrime b = generate_safe_prime(64, 2);
+  EXPECT_NE(a.p, b.p);
+}
+
+TEST(Prime, Rfc3526IsSafePrime) {
+  const Bignum& p = rfc3526_prime_1536();
+  EXPECT_EQ(p.bit_length(), 1536u);
+  EXPECT_TRUE(is_probable_prime(p, 4));
+  Bignum q = (p - Bignum(1)) >> 1;
+  EXPECT_TRUE(is_probable_prime(q, 4));
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

@@ -1,0 +1,103 @@
+#include "crypto/prime_group.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "crypto/prime.h"
+
+namespace coincidence::crypto {
+namespace {
+
+class PrimeGroupTest : public ::testing::Test {
+ protected:
+  // A 96-bit test group: big enough to exercise multi-limb arithmetic,
+  // small enough to regenerate instantly.
+  static const PrimeGroup& group() {
+    static const PrimeGroup g = PrimeGroup::generate(96, 7);
+    return g;
+  }
+};
+
+TEST_F(PrimeGroupTest, GeneratorIsElement) {
+  EXPECT_TRUE(group().is_element(group().g()));
+}
+
+TEST_F(PrimeGroupTest, GeneratorHasOrderQ) {
+  EXPECT_EQ(group().exp_g(group().q()), Bignum(1));
+  // ...and not a smaller order: g^1 != 1 and q is prime, so order is q.
+  EXPECT_NE(group().exp_g(Bignum(1)), Bignum(1));
+}
+
+TEST_F(PrimeGroupTest, ExpHomomorphism) {
+  // g^a * g^b == g^(a+b mod q)
+  Bignum a(123456789), b(987654321);
+  Bignum lhs = group().mul(group().exp_g(a), group().exp_g(b));
+  Bignum rhs = group().exp_g(Bignum::add_mod(a % group().q(), b % group().q(),
+                                             group().q()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PrimeGroupTest, InverseMultipliesToOne) {
+  Bignum x = group().exp_g(Bignum(31337));
+  EXPECT_EQ(group().mul(x, group().inv(x)), Bignum(1));
+}
+
+TEST_F(PrimeGroupTest, NonElementsRejected) {
+  EXPECT_FALSE(group().is_element(Bignum()));        // 0
+  EXPECT_FALSE(group().is_element(group().p()));     // = p
+  EXPECT_FALSE(group().is_element(group().p() - Bignum(1)));  // order 2
+}
+
+TEST_F(PrimeGroupTest, HashToGroupLandsInGroup) {
+  for (int i = 0; i < 20; ++i) {
+    Bignum h = group().hash_to_group(bytes_of_u64(i));
+    EXPECT_TRUE(group().is_element(h)) << i;
+  }
+}
+
+TEST_F(PrimeGroupTest, HashToGroupDeterministicAndInputSensitive) {
+  Bignum a1 = group().hash_to_group(bytes_of("input"));
+  Bignum a2 = group().hash_to_group(bytes_of("input"));
+  Bignum b = group().hash_to_group(bytes_of("other"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST_F(PrimeGroupTest, HashToScalarBelowQ) {
+  for (int i = 0; i < 20; ++i) {
+    Bignum s = group().hash_to_scalar(bytes_of_u64(i));
+    EXPECT_TRUE(s < group().q());
+  }
+}
+
+TEST_F(PrimeGroupTest, EncodeFixedWidth) {
+  Bytes e = group().encode(Bignum(5));
+  EXPECT_EQ(e.size(), group().byte_len());
+  EXPECT_EQ(Bignum::from_bytes_be(e), Bignum(5));
+}
+
+TEST(PrimeGroup, FromSafePrimeValidates) {
+  SafePrime sp = generate_safe_prime(64, 3);
+  PrimeGroup g = PrimeGroup::from_safe_prime(sp.p);
+  EXPECT_EQ(g.q(), sp.q);
+  EXPECT_EQ(g.g(), Bignum(4));
+}
+
+TEST(PrimeGroup, FromNonSafePrimeThrows) {
+  // 2^89-1 is prime but (p-1)/2 is not prime.
+  Bignum m89 = (Bignum(1) << 89) - Bignum(1);
+  EXPECT_THROW(PrimeGroup::from_safe_prime(m89), ConfigError);
+  EXPECT_THROW(PrimeGroup::from_safe_prime(Bignum(100)), ConfigError);
+}
+
+TEST(PrimeGroup, Rfc3526Constructs) {
+  PrimeGroup g = PrimeGroup::rfc3526_1536();
+  EXPECT_EQ(g.p().bit_length(), 1536u);
+  EXPECT_EQ(g.byte_len(), 192u);
+  // Spot-check the subgroup law on the production-size group.
+  Bignum x = g.exp_g(Bignum(123));
+  EXPECT_TRUE(g.is_element(x));
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

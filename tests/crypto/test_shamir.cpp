@@ -1,0 +1,132 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/errors.h"
+
+namespace coincidence::crypto {
+namespace {
+
+TEST(Field61, ReduceIdentities) {
+  EXPECT_EQ(Field61::reduce(0), 0u);
+  EXPECT_EQ(Field61::reduce(Field61::kP), 0u);
+  EXPECT_EQ(Field61::reduce(Field61::kP + 5), 5u);
+  EXPECT_EQ(Field61::reduce(Field61::kP - 1), Field61::kP - 1);
+}
+
+TEST(Field61, AddSubInverse) {
+  std::uint64_t a = 123456789, b = Field61::kP - 5;
+  EXPECT_EQ(Field61::sub(Field61::add(a, b), b), a);
+  EXPECT_EQ(Field61::sub(0, 1), Field61::kP - 1);
+}
+
+TEST(Field61, MulKnown) {
+  EXPECT_EQ(Field61::mul(3, 7), 21u);
+  // (p-1)^2 mod p = 1
+  EXPECT_EQ(Field61::mul(Field61::kP - 1, Field61::kP - 1), 1u);
+}
+
+TEST(Field61, PowFermat) {
+  for (std::uint64_t a : {2ULL, 3ULL, 123456789ULL})
+    EXPECT_EQ(Field61::pow(a, Field61::kP - 1), 1u) << a;
+}
+
+TEST(Field61, InvMultipliesToOne) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t a = 1 + rng.next_below(Field61::kP - 1);
+    EXPECT_EQ(Field61::mul(a, Field61::inv(a)), 1u);
+  }
+}
+
+TEST(Field61, InvZeroThrows) {
+  EXPECT_THROW(Field61::inv(0), PreconditionError);
+  EXPECT_THROW(Field61::inv(Field61::kP), PreconditionError);
+}
+
+TEST(Shamir, ShareAndReconstructExactThreshold) {
+  Rng rng(1);
+  std::uint64_t secret = 0xdeadbeef;
+  auto shares = shamir_share(secret, 7, 3, rng);
+  ASSERT_EQ(shares.size(), 7u);
+  std::vector<Share> subset(shares.begin(), shares.begin() + 4);  // t+1 = 4
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+}
+
+TEST(Shamir, AnySubsetOfThresholdSizeWorks) {
+  Rng rng(2);
+  std::uint64_t secret = 42;
+  auto shares = shamir_share(secret, 6, 2, rng);
+  // every 3-subset of 6 shares reconstructs
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = i + 1; j < 6; ++j)
+      for (std::size_t k = j + 1; k < 6; ++k) {
+        std::vector<Share> sub{shares[i], shares[j], shares[k]};
+        EXPECT_EQ(shamir_reconstruct(sub), secret);
+      }
+}
+
+TEST(Shamir, AllSharesAlsoReconstruct) {
+  Rng rng(3);
+  auto shares = shamir_share(777, 5, 2, rng);
+  EXPECT_EQ(shamir_reconstruct(shares), 777u);
+}
+
+TEST(Shamir, BelowThresholdRevealsNothing) {
+  // With t shares the polynomial is underdetermined: reconstructing from
+  // t points (pretending threshold was t-1) must NOT yield the secret in
+  // general. We check it statistically over random secrets.
+  Rng rng(4);
+  int accidental_hits = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    std::uint64_t secret = rng.next_below(Field61::kP);
+    auto shares = shamir_share(secret, 5, 2, rng);
+    std::vector<Share> too_few(shares.begin(), shares.begin() + 2);
+    if (shamir_reconstruct(too_few) == secret) ++accidental_hits;
+  }
+  EXPECT_LE(accidental_hits, 1);
+}
+
+TEST(Shamir, ZeroSecret) {
+  Rng rng(5);
+  auto shares = shamir_share(0, 4, 1, rng);
+  std::vector<Share> sub(shares.begin(), shares.begin() + 2);
+  EXPECT_EQ(shamir_reconstruct(sub), 0u);
+}
+
+TEST(Shamir, ThresholdZeroIsReplication) {
+  Rng rng(6);
+  auto shares = shamir_share(99, 3, 0, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.y, 99u);
+}
+
+TEST(Shamir, RejectsBadParameters) {
+  Rng rng(7);
+  EXPECT_THROW(shamir_share(Field61::kP, 3, 1, rng), PreconditionError);
+  EXPECT_THROW(shamir_share(1, 3, 3, rng), PreconditionError);
+}
+
+TEST(Shamir, RejectsDuplicateShares) {
+  Rng rng(8);
+  auto shares = shamir_share(5, 3, 1, rng);
+  std::vector<Share> dup{shares[0], shares[0]};
+  EXPECT_THROW(shamir_reconstruct(dup), PreconditionError);
+}
+
+TEST(Shamir, RejectsEmpty) {
+  EXPECT_THROW(shamir_reconstruct({}), PreconditionError);
+}
+
+TEST(Shamir, CorruptedShareChangesResult) {
+  Rng rng(9);
+  std::uint64_t secret = 31415926;
+  auto shares = shamir_share(secret, 4, 1, rng);
+  std::vector<Share> sub{shares[0], shares[1]};
+  sub[1].y = Field61::add(sub[1].y, 1);
+  EXPECT_NE(shamir_reconstruct(sub), secret);
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

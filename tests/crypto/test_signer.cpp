@@ -1,0 +1,51 @@
+#include "crypto/signer.h"
+
+#include <gtest/gtest.h>
+
+namespace coincidence::crypto {
+namespace {
+
+class SignerTest : public ::testing::Test {
+ protected:
+  SignerTest() : registry_(KeyRegistry::create_for(4, 55)), signer_(registry_) {}
+
+  std::shared_ptr<KeyRegistry> registry_;
+  Signer signer_;
+};
+
+TEST_F(SignerTest, SignVerifyRoundTrip) {
+  Bytes sig = signer_.sign(0, bytes_of("echo,1"));
+  EXPECT_TRUE(signer_.verify(0, bytes_of("echo,1"), sig));
+}
+
+TEST_F(SignerTest, WrongSignerRejected) {
+  Bytes sig = signer_.sign(0, bytes_of("m"));
+  EXPECT_FALSE(signer_.verify(1, bytes_of("m"), sig));
+}
+
+TEST_F(SignerTest, WrongMessageRejected) {
+  Bytes sig = signer_.sign(0, bytes_of("m"));
+  EXPECT_FALSE(signer_.verify(0, bytes_of("m2"), sig));
+}
+
+TEST_F(SignerTest, TamperedSignatureRejected) {
+  Bytes sig = signer_.sign(0, bytes_of("m"));
+  sig[0] ^= 1;
+  EXPECT_FALSE(signer_.verify(0, bytes_of("m"), sig));
+}
+
+TEST_F(SignerTest, UnknownSignerRejectedNotThrow) {
+  EXPECT_FALSE(signer_.verify(99, bytes_of("m"), Bytes(32, 0)));
+}
+
+TEST_F(SignerTest, SignatureSizeMatchesWordAccounting) {
+  EXPECT_EQ(signer_.sign(0, bytes_of("m")).size(), Signer::kSignatureSize);
+}
+
+TEST_F(SignerTest, DeterministicPerSignerMessage) {
+  EXPECT_EQ(signer_.sign(2, bytes_of("m")), signer_.sign(2, bytes_of("m")));
+  EXPECT_NE(signer_.sign(2, bytes_of("m")), signer_.sign(3, bytes_of("m")));
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

@@ -1,0 +1,87 @@
+// Property sweeps over all agreement protocols: the three BA properties
+// (validity / agreement / termination) across a grid of protocols, input
+// splits, adversaries and fault mixes.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace coincidence::core {
+namespace {
+
+struct BaGridCase {
+  Protocol protocol;
+  std::size_t n;
+  std::size_t ones;  // processes proposing 1
+  AdversaryKind adversary;
+  std::size_t crash, silent, junk;
+  int runs;
+  int min_decided;  // of runs (whp tail allowance)
+};
+
+class BaGrid : public ::testing::TestWithParam<BaGridCase> {};
+
+TEST_P(BaGrid, AgreementValidityTermination) {
+  const BaGridCase& c = GetParam();
+  int decided = 0;
+  for (int run = 0; run < c.runs; ++run) {
+    RunOptions o;
+    o.protocol = c.protocol;
+    o.n = c.n;
+    o.adversary = c.adversary;
+    o.crash = c.crash;
+    o.silent = c.silent;
+    o.junk = c.junk;
+    o.seed = 0xba5e + 977 * run + c.n + static_cast<int>(c.protocol);
+    o.inputs.assign(c.n, ba::kZero);
+    for (std::size_t i = 0; i < c.ones; ++i) o.inputs[i] = ba::kOne;
+
+    RunReport r = run_agreement(o);
+    // Agreement must hold among whoever decided, in every run.
+    EXPECT_TRUE(r.agreement) << "run " << run;
+    if (!r.all_correct_decided) continue;
+    ++decided;
+    ASSERT_TRUE(r.decision.has_value());
+    // Validity: unanimous inputs (among all n — corrupted ones sit on the
+    // high ids and might hold either value, so only assert when ALL
+    // inputs agree) force that decision.
+    if (c.ones == 0) EXPECT_EQ(*r.decision, 0) << "run " << run;
+    if (c.ones == c.n) EXPECT_EQ(*r.decision, 1) << "run " << run;
+  }
+  EXPECT_GE(decided, c.min_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BaGrid,
+    ::testing::Values(
+        // --- validity probes: unanimous inputs, every protocol ---
+        BaGridCase{Protocol::kBenOr, 12, 0, AdversaryKind::kRandom, 1, 1, 0, 5, 5},
+        BaGridCase{Protocol::kBenOr, 12, 12, AdversaryKind::kSplit, 0, 2, 0, 5, 5},
+        BaGridCase{Protocol::kBracha, 10, 0, AdversaryKind::kRandom, 1, 1, 1, 4, 4},
+        BaGridCase{Protocol::kBracha, 10, 10, AdversaryKind::kDelaySenders, 0, 0, 3, 4, 4},
+        BaGridCase{Protocol::kMmrSharedCoin, 13, 0, AdversaryKind::kRandom, 2, 1, 1, 5, 5},
+        BaGridCase{Protocol::kMmrSharedCoin, 13, 13, AdversaryKind::kFifo, 0, 4, 0, 5, 5},
+        BaGridCase{Protocol::kMmrDealerCoin, 13, 0, AdversaryKind::kSplit, 1, 2, 1, 5, 5},
+        BaGridCase{Protocol::kMmrDealerCoin, 13, 13, AdversaryKind::kRandom, 0, 0, 4, 5, 5},
+        BaGridCase{Protocol::kBaWhp, 72, 0, AdversaryKind::kRandom, 2, 1, 1, 4, 2},
+        BaGridCase{Protocol::kBaWhp, 72, 72, AdversaryKind::kDelaySenders, 0, 2, 2, 4, 2},
+        // --- split inputs: agreement + termination under hostility ---
+        BaGridCase{Protocol::kBenOr, 16, 8, AdversaryKind::kDelaySenders, 0, 0, 0, 4, 4},
+        BaGridCase{Protocol::kBracha, 13, 6, AdversaryKind::kSplit, 0, 0, 0, 3, 3},
+        BaGridCase{Protocol::kMmrSharedCoin, 16, 8, AdversaryKind::kDelaySenders, 1, 1, 1, 5, 5},
+        BaGridCase{Protocol::kMmrDealerCoin, 16, 8, AdversaryKind::kSplit, 1, 1, 1, 5, 5},
+        BaGridCase{Protocol::kBaWhp, 64, 32, AdversaryKind::kRandom, 1, 1, 1, 4, 3},
+        BaGridCase{Protocol::kBaWhp, 64, 32, AdversaryKind::kSplit, 0, 0, 0, 4, 3}),
+    [](const auto& info) {
+      const BaGridCase& c = info.param;
+      std::string name = std::string(protocol_name(c.protocol)) + "_n" +
+                         std::to_string(c.n) + "_ones" +
+                         std::to_string(c.ones) + "_" +
+                         adversary_name(c.adversary) +
+                         std::to_string(c.crash + c.silent + c.junk);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace coincidence::core

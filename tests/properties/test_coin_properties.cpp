@@ -1,0 +1,76 @@
+// Property sweeps over the coin protocols: liveness and agreement
+// invariants across a (n, faults, adversary) grid, all deterministic.
+#include <gtest/gtest.h>
+
+#include "core/coin_runner.h"
+
+namespace coincidence::core {
+namespace {
+
+struct CoinGridCase {
+  CoinKind kind;
+  std::size_t n;
+  std::size_t silent;
+  std::size_t delay_senders;
+  int runs;
+  // Minimum acceptable counts out of `runs` (calibrated generously; the
+  // sweep is deterministic, so these either always hold or regress).
+  int min_returned;
+  int min_agreed;
+};
+
+class CoinGrid : public ::testing::TestWithParam<CoinGridCase> {};
+
+TEST_P(CoinGrid, LivenessAndAgreementAcrossSeeds) {
+  const CoinGridCase& c = GetParam();
+  int returned = 0, agreed = 0;
+  for (int run = 0; run < c.runs; ++run) {
+    CoinOptions o;
+    o.kind = c.kind;
+    o.n = c.n;
+    o.silent = c.silent;
+    o.delay_senders = c.delay_senders;
+    o.seed = 0x5eed + 101 * run + c.n;
+    o.round = static_cast<std::uint64_t>(run);
+    CoinReport r = run_coin_trial(o);
+    returned += r.all_returned;
+    agreed += r.agreed_bit.has_value();
+    // Safety invariant: whoever returned, outputs are bits.
+    for (const auto& out : r.outputs)
+      if (out) EXPECT_TRUE(*out == 0 || *out == 1);
+  }
+  EXPECT_GE(returned, c.min_returned);
+  EXPECT_GE(agreed, c.min_agreed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CoinGrid,
+    ::testing::Values(
+        // shared coin: full participation, always live
+        CoinGridCase{CoinKind::kShared, 16, 0, 0, 20, 20, 18},
+        CoinGridCase{CoinKind::kShared, 16, 1, 0, 20, 20, 18},
+        CoinGridCase{CoinKind::kShared, 48, 3, 0, 12, 12, 10},
+        CoinGridCase{CoinKind::kShared, 48, 0, 12, 12, 12, 10},
+        CoinGridCase{CoinKind::kShared, 96, 7, 0, 8, 8, 7},
+        // whp coin: committee-based, liveness only whp
+        CoinGridCase{CoinKind::kWhp, 48, 0, 0, 20, 16, 14},
+        CoinGridCase{CoinKind::kWhp, 96, 0, 0, 12, 10, 9},
+        CoinGridCase{CoinKind::kWhp, 96, 3, 0, 12, 10, 9},
+        CoinGridCase{CoinKind::kWhp, 96, 0, 24, 12, 10, 9},
+        CoinGridCase{CoinKind::kWhp, 192, 0, 0, 8, 7, 6},
+        // dealer coin: perfect
+        CoinGridCase{CoinKind::kDealer, 16, 1, 0, 20, 20, 20},
+        CoinGridCase{CoinKind::kDealer, 64, 5, 0, 10, 10, 10}),
+    [](const auto& info) {
+      const CoinGridCase& c = info.param;
+      return std::string(coin_name(c.kind) == std::string("shared-coin")
+                             ? "shared"
+                             : coin_name(c.kind) == std::string("whp-coin")
+                                   ? "whp"
+                                   : "dealer") +
+             "_n" + std::to_string(c.n) + "_s" + std::to_string(c.silent) +
+             "_d" + std::to_string(c.delay_senders);
+    });
+
+}  // namespace
+}  // namespace coincidence::core

@@ -1,0 +1,113 @@
+// Property sweeps over committee sampling: for a grid of (n, d), the
+// empirical S1–S4 failure rates must respect the Chernoff bounds of
+// Appendix A, and the S5/S6 subset-intersection corollaries must hold on
+// every S1-passing committee (they are arithmetic consequences of S1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "committee/params.h"
+#include "core/env.h"
+
+namespace coincidence::committee {
+namespace {
+
+struct SamplingCase {
+  std::size_t n;
+  double d;
+};
+
+class SamplingGrid : public ::testing::TestWithParam<SamplingCase> {};
+
+TEST_P(SamplingGrid, ChernoffBoundsAndCorollaries) {
+  const SamplingCase& c = GetParam();
+  core::Env env = core::Env::make(c.n, 0.25, c.d, 31 + c.n, /*strict=*/false);
+  const Params& p = env.params;
+  const std::size_t f = p.f;
+  const int kCommittees = 400;
+
+  int s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+  for (int k = 0; k < kCommittees; ++k) {
+    std::string seed = "prop-" + std::to_string(k);
+    std::size_t size = 0, byz = 0;
+    for (std::size_t i = 0; i < c.n; ++i) {
+      if (!env.sampler->sample(static_cast<crypto::ProcessId>(i), seed)
+               .sampled)
+        continue;
+      ++size;
+      if (i >= c.n - f) ++byz;
+    }
+    bool s1_holds = static_cast<double>(size) <= (1.0 + p.d) * p.lambda;
+    s1 += !s1_holds;
+    s2 += static_cast<double>(size) < (1.0 - p.d) * p.lambda;
+    s3 += (size - byz) < p.W;
+    s4 += byz > p.B;
+
+    if (s1_holds && size >= p.W) {
+      // S5: two W-subsets of the committee intersect in >= B+1 members.
+      ASSERT_GE(2 * p.W, size);
+      EXPECT_GE(2 * p.W - size, p.B + 1) << "committee " << k;
+      // S6: a (B+1)-subset meets every W-subset.
+      EXPECT_GT(p.B + 1 + p.W, size) << "committee " << k;
+    }
+  }
+
+  auto rate = [&](int fails) {
+    return static_cast<double>(fails) / kCommittees;
+  };
+  // Chernoff upper bounds + a 3-sigma sampling allowance.
+  auto sigma = [&](double bound) {
+    double clamped = std::min(std::max(bound, 1e-6), 1.0);
+    return 3.0 * std::sqrt(clamped * (1.0 - clamped) / kCommittees);
+  };
+  double b1 = s1_failure_bound(p.lambda, p.d);
+  double b2 = s2_failure_bound(p.lambda, p.d);
+  double b3 = s3_failure_bound(p.lambda, p.d, p.epsilon);
+  double b4 = s4_failure_bound(p.lambda, p.d, p.epsilon);
+  EXPECT_LE(rate(s1), std::min(1.0, b1 + sigma(b1)));
+  EXPECT_LE(rate(s2), std::min(1.0, b2 + sigma(b2)));
+  EXPECT_LE(rate(s3), std::min(1.0, b3 + sigma(b3)));
+  EXPECT_LE(rate(s4), std::min(1.0, b4 + sigma(b4)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplingGrid,
+    ::testing::Values(SamplingCase{64, 0.02}, SamplingCase{64, 0.05},
+                      SamplingCase{128, 0.02}, SamplingCase{128, 0.05},
+                      SamplingCase{256, 0.05}, SamplingCase{512, 0.05},
+                      SamplingCase{512, 0.08}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(static_cast<int>(info.param.d * 100));
+    });
+
+class EpsilonWindowGrid : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EpsilonWindowGrid, DerivedParamsInternallyConsistent) {
+  std::size_t n = GetParam();
+  Window ew = epsilon_window(n);
+  if (!ew.feasible()) GTEST_SKIP() << "epsilon window empty at n=" << n;
+  for (double frac : {0.1, 0.5, 0.9}) {
+    double eps = ew.lo + frac * (ew.hi - ew.lo);
+    Window dw = d_window(n, eps);
+    if (!dw.feasible()) continue;
+    Params p = Params::derive(n, eps, dw.midpoint());
+    // Structural invariants the proofs rely on.
+    EXPECT_GT(p.W, p.B);                       // waiting proves something
+    EXPECT_GT(p.W, 2 * p.B - p.B);             // W > B
+    EXPECT_LT(static_cast<double>(p.W), p.lambda * (1.0 + p.d));  // reachable under S1
+    EXPECT_LE(p.f, n / 3);
+    // S5 arithmetic at the S1 boundary: 2W - (1+d)λ >= B+1.
+    EXPECT_GE(2.0 * static_cast<double>(p.W) - (1.0 + p.d) * p.lambda,
+              static_cast<double>(p.B) + 1.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EpsilonWindowGrid,
+                         ::testing::Values(32, 64, 128, 256, 1024, 16384),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace coincidence::committee

@@ -1,0 +1,72 @@
+// Safety hunt: a broad, deterministic sweep looking for agreement
+// violations. The paper's protocol satisfies agreement only "whp"; a
+// correct implementation should make violations so rare that NO run in
+// this sweep exhibits one — any hit would be a bug (or a spectacular
+// seed worth pinning). Covers every protocol, hostile schedulers and
+// Byzantine mixes.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace coincidence::core {
+namespace {
+
+struct HuntCase {
+  Protocol protocol;
+  std::size_t n;
+  int runs;
+};
+
+class SafetyHunt : public ::testing::TestWithParam<HuntCase> {};
+
+TEST_P(SafetyHunt, NoAgreementViolationAcrossSweep) {
+  const HuntCase& c = GetParam();
+  const AdversaryKind kAdversaries[] = {AdversaryKind::kRandom,
+                                        AdversaryKind::kDelaySenders,
+                                        AdversaryKind::kSplit};
+  int checked = 0;
+  for (int run = 0; run < c.runs; ++run) {
+    RunOptions o;
+    o.protocol = c.protocol;
+    o.n = c.n;
+    o.seed = 0x5AFE7E57 + 31 * run;
+    o.adversary = kAdversaries[run % 3];
+    o.inputs.assign(c.n, ba::kZero);
+    for (std::size_t i = 0; i < c.n / 2; ++i) o.inputs[i] = ba::kOne;
+    // Byzantine load: rotate the mix with the run index.
+    std::size_t budget = 0;
+    {
+      RunOptions probe = o;
+      budget = run_agreement(probe).protocol_f;
+    }
+    o.crash = (run % 2) ? budget / 2 : 0;
+    o.junk = (run % 2) ? budget - o.crash : budget;
+
+    RunReport r = run_agreement(o);
+    ++checked;
+    EXPECT_TRUE(r.agreement)
+        << protocol_name(c.protocol) << " n=" << c.n << " run=" << run
+        << " adversary=" << adversary_name(o.adversary);
+  }
+  EXPECT_EQ(checked, c.runs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SafetyHunt,
+    ::testing::Values(HuntCase{Protocol::kBenOr, 11, 9},
+                      HuntCase{Protocol::kBracha, 10, 6},
+                      HuntCase{Protocol::kMmrSharedCoin, 13, 9},
+                      HuntCase{Protocol::kMmrDealerCoin, 13, 9},
+                      HuntCase{Protocol::kMmrWhpCoin, 48, 6},
+                      HuntCase{Protocol::kBaWhp, 48, 6},
+                      HuntCase{Protocol::kBaWhp, 64, 4}),
+    [](const auto& info) {
+      std::string name = std::string(protocol_name(info.param.protocol)) +
+                         "_n" + std::to_string(info.param.n);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace coincidence::core

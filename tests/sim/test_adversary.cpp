@@ -1,0 +1,291 @@
+#include "sim/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "common/ser.h"
+#include "sim/simulation.h"
+
+namespace coincidence::sim {
+namespace {
+
+/// Records the order in which its messages arrive.
+class Recorder final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    // Send k tagged messages to process 1 in a known order.
+    for (int k = 0; k < 8; ++k)
+      ctx.send(1, "m" + std::to_string(k), {}, 1);
+  }
+  void on_message(Context&, const Message& msg) override {
+    order.push_back(msg.tag);
+  }
+  std::vector<std::string> order;
+};
+
+TEST(Adversary, FifoDeliversInSendOrder) {
+  SimConfig cfg;
+  cfg.n = 2;
+  Simulation sim(cfg);
+  sim.add_process(std::make_unique<Recorder>());
+  sim.add_process(std::make_unique<Recorder>());
+  sim.set_adversary(std::make_unique<FifoAdversary>());
+  sim.start();
+  sim.run();
+  auto& r = dynamic_cast<Recorder&>(sim.process(1));
+  ASSERT_EQ(r.order.size(), 8u);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(r.order[k], "m" + std::to_string(k));
+}
+
+TEST(Adversary, RandomReordersButDeliversAll) {
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 5;
+  Simulation sim(cfg);
+  sim.add_process(std::make_unique<Recorder>());
+  sim.add_process(std::make_unique<Recorder>());
+  sim.set_adversary(std::make_unique<RandomAdversary>());
+  sim.start();
+  sim.run();
+  auto& r = dynamic_cast<Recorder&>(sim.process(1));
+  EXPECT_EQ(r.order.size(), 8u);
+  std::vector<std::string> sorted = r.order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> expect;
+  for (int k = 0; k < 8; ++k) expect.push_back("m" + std::to_string(k));
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(sorted, expect);
+}
+
+/// Two senders (1 and 2) each send a stream to process 0.
+class TwoStreams final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 1 || ctx.self() == 2)
+      for (int k = 0; k < 10; ++k)
+        ctx.send(0, "s" + std::to_string(ctx.self()), {}, 1);
+  }
+  void on_message(Context&, const Message& msg) override {
+    arrivals.push_back(msg.from);
+  }
+  std::vector<ProcessId> arrivals;
+};
+
+TEST(Adversary, DelaySendersStarvesVictimUntilFairnessBound) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 2;
+  cfg.fairness_bound = 1000;  // effectively no forced delivery here
+  Simulation sim(cfg);
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<TwoStreams>());
+  sim.set_adversary(std::make_unique<DelaySendersAdversary>(
+      std::vector<ProcessId>{1}));
+  sim.start();
+  sim.run();
+  auto& arrivals = dynamic_cast<TwoStreams&>(sim.process(0)).arrivals;
+  ASSERT_EQ(arrivals.size(), 20u);
+  // All of sender 2's messages must arrive before any of sender 1's.
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(arrivals[k], 2u) << k;
+  for (int k = 10; k < 20; ++k) EXPECT_EQ(arrivals[k], 1u) << k;
+}
+
+TEST(Adversary, FairnessBoundForcesEventualDelivery) {
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 2;
+  cfg.fairness_bound = 4;  // victim messages must break through quickly
+  Simulation sim(cfg);
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<TwoStreams>());
+  sim.set_adversary(std::make_unique<DelaySendersAdversary>(
+      std::vector<ProcessId>{1}));
+  sim.start();
+  sim.run();
+  auto& arrivals = dynamic_cast<TwoStreams&>(sim.process(0)).arrivals;
+  ASSERT_EQ(arrivals.size(), 20u);
+  // With a tight bound the victim's messages interleave early.
+  bool victim_in_first_half = false;
+  for (int k = 0; k < 10; ++k)
+    if (arrivals[k] == 1u) victim_in_first_half = true;
+  EXPECT_TRUE(victim_in_first_half);
+}
+
+TEST(Adversary, SplitDelaysCrossPartitionTraffic) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 7;
+  cfg.fairness_bound = 1000;
+  Simulation sim(cfg);
+
+  class CrossSender final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      for (ProcessId to = 0; to < ctx.n(); ++to)
+        if (to != ctx.self()) ctx.send(to, "x", {}, 1);
+    }
+    void on_message(Context&, const Message& msg) override {
+      arrivals.push_back(msg.from);
+    }
+    std::vector<ProcessId> arrivals;
+  };
+  for (int i = 0; i < 4; ++i) sim.add_process(std::make_unique<CrossSender>());
+  sim.set_adversary(std::make_unique<SplitAdversary>(2));
+  sim.start();
+  sim.run();
+  // First arrival at process 0 must be from its own partition {0,1}.
+  auto& a0 = dynamic_cast<CrossSender&>(sim.process(0)).arrivals;
+  ASSERT_FALSE(a0.empty());
+  EXPECT_LT(a0.front(), 2u);
+  EXPECT_EQ(a0.size(), 3u);  // everything still delivered eventually
+}
+
+TEST(Adversary, StaticCorruptionFiresAtStart) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.f = 2;
+  Simulation sim(cfg);
+
+  class B final : public Process {
+   public:
+    void on_start(Context& ctx) override { ctx.broadcast("b", {}, 1); }
+    void on_message(Context&, const Message&) override { ++got; }
+    int got = 0;
+  };
+  for (int i = 0; i < 4; ++i) sim.add_process(std::make_unique<B>());
+  sim.set_adversary(std::make_unique<StaticCorruptionAdversary>(
+      std::vector<ProcessId>{0, 1}, FaultPlan::silent()));
+  sim.start();
+  sim.run();
+  EXPECT_TRUE(sim.is_corrupted(0));
+  EXPECT_TRUE(sim.is_corrupted(1));
+  EXPECT_EQ(dynamic_cast<B&>(sim.process(3)).got, 2);  // only 2 and 3 spoke
+}
+
+TEST(Adversary, CorruptionRequestsBeyondBudgetIgnored) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.f = 1;  // budget below the adversary's wish list
+  Simulation sim(cfg);
+
+  class Noop final : public Process {
+   public:
+    void on_start(Context& ctx) override { ctx.broadcast("b", {}, 1); }
+    void on_message(Context&, const Message&) override {}
+  };
+  for (int i = 0; i < 4; ++i) sim.add_process(std::make_unique<Noop>());
+  sim.set_adversary(std::make_unique<StaticCorruptionAdversary>(
+      std::vector<ProcessId>{0, 1, 2}, FaultPlan::silent()));
+  sim.start();
+  sim.run();
+  EXPECT_EQ(sim.corrupted_count(), 1u);
+}
+
+TEST(Adversary, ContentInvisibleByDefault) {
+  // A CoinBiasAdversary without allow_content_visibility never sees
+  // content, so it starves nobody and behaves like RandomAdversary.
+  SimConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 4;
+  Simulation sim(cfg);
+
+  class CoinLike final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      Writer w;
+      Bytes value(32, static_cast<std::uint8_t>(ctx.self()));
+      w.blob(value).blob(bytes_of("proof"));
+      ctx.broadcast("coin/first", w.take(), 2);
+    }
+    void on_message(Context&, const Message&) override { ++got; }
+    int got = 0;
+  };
+  for (int i = 0; i < 3; ++i) sim.add_process(std::make_unique<CoinLike>());
+  auto adversary = std::make_unique<CoinBiasAdversary>("first", 0);
+  sim.set_adversary(std::move(adversary));
+  sim.start();
+  sim.run();
+  EXPECT_EQ(sim.corrupted_count(), 0u);  // never learned anything to act on
+  for (ProcessId i = 0; i < 3; ++i)
+    EXPECT_EQ(dynamic_cast<CoinLike&>(sim.process(i)).got, 3);
+}
+
+TEST(Adversary, ContentAwareModeEnablesBiasAttack) {
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.f = 3;
+  cfg.seed = 4;
+  cfg.allow_content_visibility = true;  // ILLEGAL mode
+  Simulation sim(cfg);
+
+  class CoinLike final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      Writer w;
+      Bytes value(32, 0);
+      value.back() = static_cast<std::uint8_t>(ctx.self() & 1);  // LSB = id parity
+      w.blob(value).blob(bytes_of("proof"));
+      ctx.broadcast("coin/first", w.take(), 2);
+    }
+    void on_message(Context&, const Message&) override {}
+  };
+  for (int i = 0; i < 4; ++i) sim.add_process(std::make_unique<CoinLike>());
+  sim.set_adversary(std::make_unique<CoinBiasAdversary>("first", 0));
+  sim.start();
+  sim.run();
+  // Processes 1 and 3 hold LSB=1 values: both get corrupted.
+  EXPECT_TRUE(sim.is_corrupted(1));
+  EXPECT_TRUE(sim.is_corrupted(3));
+  EXPECT_FALSE(sim.is_corrupted(0));
+  EXPECT_FALSE(sim.is_corrupted(2));
+}
+
+}  // namespace
+}  // namespace coincidence::sim
+
+namespace coincidence::sim {
+namespace {
+
+TEST(Adversary, HeavyTailDelaysAFewMessagesALot) {
+  // 40 messages to one receiver: under Pareto weights the arrival order
+  // is a fixed permutation (weights persist), everything is delivered,
+  // and the spread between first and last arrival of any send batch is
+  // larger than FIFO's (which is zero reordering).
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 21;
+  Simulation sim(cfg);
+
+  class Burst final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() == 0)
+        for (int k = 0; k < 40; ++k)
+          ctx.send(1, "m" + std::to_string(k), {}, 1);
+    }
+    void on_message(Context&, const Message& msg) override {
+      order.push_back(msg.tag);
+    }
+    std::vector<std::string> order;
+  };
+  sim.add_process(std::make_unique<Burst>());
+  sim.add_process(std::make_unique<Burst>());
+  sim.set_adversary(std::make_unique<HeavyTailAdversary>(1.3));
+  sim.start();
+  sim.run();
+
+  auto& r = dynamic_cast<Burst&>(sim.process(1));
+  ASSERT_EQ(r.order.size(), 40u);  // everything delivered
+  // Not FIFO: some message overtook an earlier one.
+  bool reordered = false;
+  for (std::size_t i = 1; i < r.order.size(); ++i)
+    if (r.order[i] < r.order[i - 1]) reordered = true;
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Adversary, HeavyTailRejectsBadAlpha) {
+  EXPECT_THROW(HeavyTailAdversary{-1.0}, PreconditionError);
+  EXPECT_THROW(HeavyTailAdversary{0.0}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace coincidence::sim

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "sim/simulation.h"
+
+namespace coincidence::sim {
+namespace {
+
+/// Everyone broadcasts one "v" message at start and counts receipts.
+class Counter final : public Process {
+ public:
+  void on_start(Context& ctx) override { ctx.broadcast("v", bytes_of("v"), 1); }
+  void on_message(Context&, const Message& msg) override {
+    if (msg.tag == "v") ++received;
+    if (!msg.payload.empty() && msg.payload == bytes_of("v")) ++valid;
+  }
+  int received = 0;
+  int valid = 0;
+};
+
+std::unique_ptr<Simulation> make_counters(std::size_t n, std::size_t f,
+                                          std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.seed = seed;
+  auto sim = std::make_unique<Simulation>(cfg);
+  for (std::size_t i = 0; i < n; ++i)
+    sim->add_process(std::make_unique<Counter>());
+  return sim;
+}
+
+TEST(Faults, BudgetEnforced) {
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::silent());
+  EXPECT_THROW(sim.corrupt(1, FaultPlan::silent()), PreconditionError);
+  EXPECT_EQ(sim.corrupted_count(), 1u);
+  EXPECT_TRUE(sim.is_corrupted(0));
+  EXPECT_FALSE(sim.is_corrupted(1));
+}
+
+TEST(Faults, RecorruptionUpdatesBehaviourWithoutBudget) {
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::silent());
+  sim.corrupt(0, FaultPlan::crash());  // allowed: same process
+  EXPECT_EQ(sim.corrupted_count(), 1u);
+}
+
+TEST(Faults, SilentProcessSendsNothing) {
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::silent());
+  sim.start();
+  sim.run();
+  // Correct processes got 3 broadcasts (from 1,2,3), not 4.
+  for (ProcessId i = 1; i < 4; ++i)
+    EXPECT_EQ(dynamic_cast<Counter&>(sim.process(i)).received, 3) << i;
+  // The silent process still receives.
+  EXPECT_EQ(dynamic_cast<Counter&>(sim.process(0)).received, 3);
+}
+
+TEST(Faults, CrashedProcessNeitherSendsNorReceives) {
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::crash());
+  sim.start();
+  sim.run();
+  EXPECT_EQ(dynamic_cast<Counter&>(sim.process(0)).received, 0);
+  for (ProcessId i = 1; i < 4; ++i)
+    EXPECT_EQ(dynamic_cast<Counter&>(sim.process(i)).received, 3) << i;
+}
+
+TEST(Faults, SelectiveSendsOnlyToTargets) {
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::selective({1}));
+  sim.start();
+  sim.run();
+  EXPECT_EQ(dynamic_cast<Counter&>(sim.process(1)).received, 4);  // has 0's msg
+  EXPECT_EQ(dynamic_cast<Counter&>(sim.process(2)).received, 3);
+  EXPECT_EQ(dynamic_cast<Counter&>(sim.process(3)).received, 3);
+}
+
+TEST(Faults, JunkCorruptsPayloadSameLength) {
+  auto sim_ptr = make_counters(4, 1, /*seed=*/3);
+  Simulation& sim = *sim_ptr;
+  sim.corrupt(0, FaultPlan::junk());
+  sim.start();
+  sim.run();
+  auto& c1 = dynamic_cast<Counter&>(sim.process(1));
+  EXPECT_EQ(c1.received, 4);     // message still arrives…
+  EXPECT_EQ(c1.valid, 3);        // …but its payload no longer matches
+}
+
+TEST(Faults, ByzantineWordsExcludedFromCorrectCount) {
+  auto honest_ptr = make_counters(4, 0);
+  Simulation& honest = *honest_ptr;
+  honest.start();
+  honest.run();
+  auto faulty_ptr = make_counters(4, 1);
+  Simulation& faulty = *faulty_ptr;
+  faulty.corrupt(0, FaultPlan::junk());  // still sends, but as Byzantine
+  faulty.start();
+  faulty.run();
+  EXPECT_EQ(honest.metrics().correct_words(), 4u * 4u);
+  EXPECT_EQ(faulty.metrics().correct_words(), 3u * 4u);
+  EXPECT_EQ(faulty.metrics().total_words(), 4u * 4u);
+}
+
+TEST(Faults, NoFrontRunning_PendingMessagesSurviveCorruption) {
+  // Process 0 broadcasts at start; corrupting it *after* start() (messages
+  // already in flight) must not retract those messages.
+  auto sim_ptr = make_counters(4, 1);
+  Simulation& sim = *sim_ptr;
+  sim.start();  // all broadcasts enqueued
+  sim.corrupt(0, FaultPlan::crash());
+  sim.run();
+  for (ProcessId i = 1; i < 4; ++i)
+    EXPECT_EQ(dynamic_cast<Counter&>(sim.process(i)).received, 4) << i;
+}
+
+TEST(Faults, OnCorruptHookFires) {
+  class Hooked final : public Process {
+   public:
+    void on_start(Context&) override {}
+    void on_message(Context&, const Message&) override {}
+    void on_corrupt(Context&) override { hooked = true; }
+    bool hooked = false;
+  };
+  SimConfig cfg;
+  cfg.n = 2;
+  cfg.f = 1;
+  Simulation sim(cfg);
+  sim.add_process(std::make_unique<Hooked>());
+  sim.add_process(std::make_unique<Hooked>());
+  sim.start();
+  sim.corrupt(0, FaultPlan::silent());
+  EXPECT_TRUE(dynamic_cast<Hooked&>(sim.process(0)).hooked);
+  EXPECT_FALSE(dynamic_cast<Hooked&>(sim.process(1)).hooked);
+}
+
+}  // namespace
+}  // namespace coincidence::sim

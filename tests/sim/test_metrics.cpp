@@ -1,0 +1,72 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace coincidence::sim {
+namespace {
+
+Message msg(std::string tag, std::size_t words) {
+  Message m;
+  m.tag = std::move(tag);
+  m.words = words;
+  return m;
+}
+
+TEST(Metrics, CorrectVsTotalWords) {
+  Metrics m;
+  m.record_send(msg("a/first", 2), true);
+  m.record_send(msg("a/first", 2), false);  // Byzantine sender
+  EXPECT_EQ(m.correct_words(), 2u);
+  EXPECT_EQ(m.total_words(), 4u);
+  EXPECT_EQ(m.messages_sent(), 2u);
+}
+
+TEST(Metrics, BucketsByLastTagComponent) {
+  Metrics m;
+  m.record_send(msg("ba/3/coin/first", 2), true);
+  m.record_send(msg("ba/4/coin/first", 3), true);
+  m.record_send(msg("ba/3/a1/init", 1), true);
+  m.record_send(msg("plain", 5), true);
+  const auto& buckets = m.words_by_tag();
+  EXPECT_EQ(buckets.at("first"), 5u);
+  EXPECT_EQ(buckets.at("init"), 1u);
+  EXPECT_EQ(buckets.at("plain"), 5u);
+}
+
+TEST(Metrics, ByzantineWordsNotBucketed) {
+  Metrics m;
+  m.record_send(msg("x/echo", 3), false);
+  EXPECT_TRUE(m.words_by_tag().empty());
+}
+
+TEST(Metrics, DecisionDepthTracksMaximum) {
+  Metrics m;
+  m.record_decision_depth(5);
+  m.record_decision_depth(3);
+  m.record_decision_depth(9);
+  EXPECT_EQ(m.duration(), 9u);
+}
+
+TEST(Metrics, DeliveriesCounted) {
+  Metrics m;
+  m.record_delivery();
+  m.record_delivery();
+  EXPECT_EQ(m.deliveries(), 2u);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics m;
+  m.record_send(msg("a/b", 4), true);
+  m.record_delivery();
+  m.record_decision_depth(7);
+  m.reset();
+  EXPECT_EQ(m.correct_words(), 0u);
+  EXPECT_EQ(m.total_words(), 0u);
+  EXPECT_EQ(m.messages_sent(), 0u);
+  EXPECT_EQ(m.deliveries(), 0u);
+  EXPECT_EQ(m.duration(), 0u);
+  EXPECT_TRUE(m.words_by_tag().empty());
+}
+
+}  // namespace
+}  // namespace coincidence::sim

@@ -1,0 +1,83 @@
+#include "sim/pending_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+namespace {
+
+Message mk(std::uint64_t id, ProcessId from, ProcessId to,
+           std::uint64_t seq) {
+  Message m;
+  m.id = id;
+  m.from = from;
+  m.to = to;
+  m.tag = "t";
+  m.send_seq = seq;
+  return m;
+}
+
+TEST(PendingPool, PushTakeRoundTrip) {
+  PendingPool pool;
+  pool.push(mk(1, 0, 1, 0), 0);
+  EXPECT_EQ(pool.size(), 1u);
+  Message m = pool.take(0);
+  EXPECT_EQ(m.id, 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(PendingPool, OldestTracksEnqueueTick) {
+  PendingPool pool;
+  pool.push(mk(1, 0, 1, 0), 5);
+  pool.push(mk(2, 0, 1, 1), 3);  // older tick
+  pool.push(mk(3, 0, 1, 2), 9);
+  EXPECT_EQ(pool.enqueue_tick(pool.oldest_index()), 3u);
+}
+
+TEST(PendingPool, OldestSurvivesSwapRemove) {
+  PendingPool pool;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    pool.push(mk(i + 1, 0, 1, i), i);
+  // Remove a few from the middle; oldest must stay correct throughout.
+  (void)pool.take(3);
+  (void)pool.take(0);
+  std::size_t oldest = pool.oldest_index();
+  std::uint64_t min_tick = ~0ULL;
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    min_tick = std::min(min_tick, pool.enqueue_tick(i));
+  EXPECT_EQ(pool.enqueue_tick(oldest), min_tick);
+}
+
+TEST(PendingPool, OldestAfterTakingOldestRepeatedly) {
+  PendingPool pool;
+  for (std::uint64_t i = 0; i < 5; ++i) pool.push(mk(i + 1, 0, 1, i), i);
+  for (std::uint64_t expect = 0; expect < 5; ++expect) {
+    std::size_t idx = pool.oldest_index();
+    EXPECT_EQ(pool.enqueue_tick(idx), expect);
+    (void)pool.take(idx);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(PendingPool, MetadataAccessors) {
+  PendingPool pool;
+  Message m = mk(7, 3, 4, 11);
+  m.words = 5;
+  pool.push(std::move(m), 2);
+  EXPECT_EQ(pool.from(0), 3u);
+  EXPECT_EQ(pool.to(0), 4u);
+  EXPECT_EQ(pool.tag(0), "t");
+  EXPECT_EQ(pool.words(0), 5u);
+  EXPECT_EQ(pool.send_seq(0), 11u);
+  EXPECT_EQ(pool.enqueue_tick(0), 2u);
+}
+
+TEST(PendingPool, TakeBadIndexThrows) {
+  PendingPool pool;
+  EXPECT_THROW(pool.take(0), PreconditionError);
+  EXPECT_THROW(pool.oldest_index(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace coincidence::sim

@@ -1,0 +1,85 @@
+#include "sim/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+namespace {
+
+TEST(VectorClock, FreshClocksEqual) {
+  VectorClock a(3), b(3);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(VectorClock::happens_before(a, b));
+  EXPECT_FALSE(VectorClock::concurrent(a, b));
+}
+
+TEST(VectorClock, TickCreatesHappensBefore) {
+  VectorClock a(3);
+  VectorClock b = a;
+  b.tick(0);
+  EXPECT_TRUE(VectorClock::happens_before(a, b));
+  EXPECT_FALSE(VectorClock::happens_before(b, a));
+}
+
+TEST(VectorClock, IndependentTicksAreConcurrent) {
+  VectorClock a(3), b(3);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_TRUE(VectorClock::concurrent(a, b));
+}
+
+TEST(VectorClock, MergeOrdersAfterBoth) {
+  VectorClock a(3), b(3);
+  a.tick(0);
+  b.tick(1);
+  VectorClock c = a;
+  c.merge(b);
+  c.tick(2);
+  EXPECT_TRUE(VectorClock::happens_before(a, c));
+  EXPECT_TRUE(VectorClock::happens_before(b, c));
+}
+
+TEST(VectorClock, TransitivityOfHappensBefore) {
+  VectorClock a(2);
+  a.tick(0);
+  VectorClock b = a;
+  b.merge(a);
+  b.tick(1);
+  VectorClock c = b;
+  c.tick(0);
+  EXPECT_TRUE(VectorClock::happens_before(a, b));
+  EXPECT_TRUE(VectorClock::happens_before(b, c));
+  EXPECT_TRUE(VectorClock::happens_before(a, c));
+}
+
+TEST(VectorClock, SizeMismatchThrows) {
+  VectorClock a(2), b(3);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  EXPECT_THROW(VectorClock::happens_before(a, b), PreconditionError);
+}
+
+TEST(VectorClock, TickOutOfRangeThrows) {
+  VectorClock a(2);
+  EXPECT_THROW(a.tick(2), PreconditionError);
+}
+
+TEST(VectorClock, MessageExchangeScenario) {
+  // p0 sends m1 to p1; p1 then sends m2 to p2. m1 -> m2 per Lamport.
+  VectorClock p0(3), p1(3), p2(3);
+  p0.tick(0);             // send event m1
+  VectorClock m1 = p0;
+  p1.merge(m1);
+  p1.tick(1);             // receive m1 + send event m2
+  VectorClock m2 = p1;
+  p2.merge(m2);
+  p2.tick(2);
+  EXPECT_TRUE(VectorClock::happens_before(m1, m2));
+  // A message from p2 sent before receiving anything is concurrent w/ m1.
+  VectorClock early(3);
+  early.tick(2);
+  EXPECT_TRUE(VectorClock::concurrent(early, m1));
+}
+
+}  // namespace
+}  // namespace coincidence::sim
