@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adversary_ablation"
+  "../bench/adversary_ablation.pdb"
+  "CMakeFiles/adversary_ablation.dir/adversary_ablation.cpp.o"
+  "CMakeFiles/adversary_ablation.dir/adversary_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coin_success_rate"
+  "../bench/coin_success_rate.pdb"
+  "CMakeFiles/coin_success_rate.dir/coin_success_rate.cpp.o"
+  "CMakeFiles/coin_success_rate.dir/coin_success_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coin_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

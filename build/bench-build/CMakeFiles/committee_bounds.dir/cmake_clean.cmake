@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/committee_bounds"
+  "../bench/committee_bounds.pdb"
+  "CMakeFiles/committee_bounds.dir/committee_bounds.cpp.o"
+  "CMakeFiles/committee_bounds.dir/committee_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/common_core"
+  "../bench/common_core.pdb"
+  "CMakeFiles/common_core.dir/common_core.cpp.o"
+  "CMakeFiles/common_core.dir/common_core.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_committee_structure"
+  "../bench/fig1_committee_structure.pdb"
+  "CMakeFiles/fig1_committee_structure.dir/fig1_committee_structure.cpp.o"
+  "CMakeFiles/fig1_committee_structure.dir/fig1_committee_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_committee_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

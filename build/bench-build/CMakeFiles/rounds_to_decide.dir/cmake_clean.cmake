@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rounds_to_decide"
+  "../bench/rounds_to_decide.pdb"
+  "CMakeFiles/rounds_to_decide.dir/rounds_to_decide.cpp.o"
+  "CMakeFiles/rounds_to_decide.dir/rounds_to_decide.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounds_to_decide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

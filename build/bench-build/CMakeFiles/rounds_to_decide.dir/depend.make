@@ -1,0 +1,2 @@
+# Empty dependencies file for rounds_to_decide.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/session_throughput"
+  "../bench/session_throughput.pdb"
+  "CMakeFiles/session_throughput.dir/session_throughput.cpp.o"
+  "CMakeFiles/session_throughput.dir/session_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/whp_coin_success_rate"
+  "../bench/whp_coin_success_rate.pdb"
+  "CMakeFiles/whp_coin_success_rate.dir/whp_coin_success_rate.cpp.o"
+  "CMakeFiles/whp_coin_success_rate.dir/whp_coin_success_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whp_coin_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/word_scaling"
+  "../bench/word_scaling.pdb"
+  "CMakeFiles/word_scaling.dir/word_scaling.cpp.o"
+  "CMakeFiles/word_scaling.dir/word_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committee_explorer.dir/committee_explorer.cpp.o"
+  "CMakeFiles/committee_explorer.dir/committee_explorer.cpp.o.d"
+  "committee_explorer"
+  "committee_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committee_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

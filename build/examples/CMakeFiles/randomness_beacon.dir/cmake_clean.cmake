@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomness_beacon.dir/randomness_beacon.cpp.o"
+  "CMakeFiles/randomness_beacon.dir/randomness_beacon.cpp.o.d"
+  "randomness_beacon"
+  "randomness_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomness_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

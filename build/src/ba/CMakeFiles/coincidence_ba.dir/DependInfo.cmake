@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/approver.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/approver.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/approver.cpp.o.d"
+  "/root/repo/src/ba/ba_whp.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/ba_whp.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/ba_whp.cpp.o.d"
+  "/root/repo/src/ba/ben_or.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/ben_or.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/ben_or.cpp.o.d"
+  "/root/repo/src/ba/bracha.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/bracha.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/bracha.cpp.o.d"
+  "/root/repo/src/ba/instance_mux.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/instance_mux.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/instance_mux.cpp.o.d"
+  "/root/repo/src/ba/mmr.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/mmr.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/mmr.cpp.o.d"
+  "/root/repo/src/ba/rbc.cpp" "src/ba/CMakeFiles/coincidence_ba.dir/rbc.cpp.o" "gcc" "src/ba/CMakeFiles/coincidence_ba.dir/rbc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coincidence_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coincidence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/committee/CMakeFiles/coincidence_committee.dir/DependInfo.cmake"
+  "/root/repo/build/src/coin/CMakeFiles/coincidence_coin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_ba.dir/approver.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/approver.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/ba_whp.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/ba_whp.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/ben_or.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/ben_or.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/bracha.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/bracha.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/instance_mux.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/instance_mux.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/mmr.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/mmr.cpp.o.d"
+  "CMakeFiles/coincidence_ba.dir/rbc.cpp.o"
+  "CMakeFiles/coincidence_ba.dir/rbc.cpp.o.d"
+  "libcoincidence_ba.a"
+  "libcoincidence_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coin/dealer_coin.cpp" "src/coin/CMakeFiles/coincidence_coin.dir/dealer_coin.cpp.o" "gcc" "src/coin/CMakeFiles/coincidence_coin.dir/dealer_coin.cpp.o.d"
+  "/root/repo/src/coin/shared_coin.cpp" "src/coin/CMakeFiles/coincidence_coin.dir/shared_coin.cpp.o" "gcc" "src/coin/CMakeFiles/coincidence_coin.dir/shared_coin.cpp.o.d"
+  "/root/repo/src/coin/whp_coin.cpp" "src/coin/CMakeFiles/coincidence_coin.dir/whp_coin.cpp.o" "gcc" "src/coin/CMakeFiles/coincidence_coin.dir/whp_coin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coincidence_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coincidence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/committee/CMakeFiles/coincidence_committee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_coin.dir/dealer_coin.cpp.o"
+  "CMakeFiles/coincidence_coin.dir/dealer_coin.cpp.o.d"
+  "CMakeFiles/coincidence_coin.dir/shared_coin.cpp.o"
+  "CMakeFiles/coincidence_coin.dir/shared_coin.cpp.o.d"
+  "CMakeFiles/coincidence_coin.dir/whp_coin.cpp.o"
+  "CMakeFiles/coincidence_coin.dir/whp_coin.cpp.o.d"
+  "libcoincidence_coin.a"
+  "libcoincidence_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

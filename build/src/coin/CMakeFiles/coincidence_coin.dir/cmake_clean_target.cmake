@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoincidence_coin.a"
+)

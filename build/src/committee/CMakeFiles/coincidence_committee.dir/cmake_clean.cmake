@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_committee.dir/params.cpp.o"
+  "CMakeFiles/coincidence_committee.dir/params.cpp.o.d"
+  "CMakeFiles/coincidence_committee.dir/sampler.cpp.o"
+  "CMakeFiles/coincidence_committee.dir/sampler.cpp.o.d"
+  "libcoincidence_committee.a"
+  "libcoincidence_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

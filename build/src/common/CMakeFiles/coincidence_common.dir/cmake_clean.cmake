@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_common.dir/args.cpp.o"
+  "CMakeFiles/coincidence_common.dir/args.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/bytes.cpp.o"
+  "CMakeFiles/coincidence_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/errors.cpp.o"
+  "CMakeFiles/coincidence_common.dir/errors.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/rng.cpp.o"
+  "CMakeFiles/coincidence_common.dir/rng.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/ser.cpp.o"
+  "CMakeFiles/coincidence_common.dir/ser.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/stats.cpp.o"
+  "CMakeFiles/coincidence_common.dir/stats.cpp.o.d"
+  "CMakeFiles/coincidence_common.dir/table.cpp.o"
+  "CMakeFiles/coincidence_common.dir/table.cpp.o.d"
+  "libcoincidence_common.a"
+  "libcoincidence_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

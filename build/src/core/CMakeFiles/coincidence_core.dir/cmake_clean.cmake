@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_core.dir/coin_runner.cpp.o"
+  "CMakeFiles/coincidence_core.dir/coin_runner.cpp.o.d"
+  "CMakeFiles/coincidence_core.dir/env.cpp.o"
+  "CMakeFiles/coincidence_core.dir/env.cpp.o.d"
+  "CMakeFiles/coincidence_core.dir/runner.cpp.o"
+  "CMakeFiles/coincidence_core.dir/runner.cpp.o.d"
+  "CMakeFiles/coincidence_core.dir/session.cpp.o"
+  "CMakeFiles/coincidence_core.dir/session.cpp.o.d"
+  "libcoincidence_core.a"
+  "libcoincidence_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/ddh_vrf.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/ddh_vrf.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/ddh_vrf.cpp.o.d"
+  "/root/repo/src/crypto/fast_vrf.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/fast_vrf.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/fast_vrf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/key_registry.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/key_registry.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/key_registry.cpp.o.d"
+  "/root/repo/src/crypto/prime.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/prime.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/prime.cpp.o.d"
+  "/root/repo/src/crypto/prime_group.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/prime_group.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/prime_group.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/signer.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/signer.cpp.o.d"
+  "/root/repo/src/crypto/vrf.cpp" "src/crypto/CMakeFiles/coincidence_crypto.dir/vrf.cpp.o" "gcc" "src/crypto/CMakeFiles/coincidence_crypto.dir/vrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

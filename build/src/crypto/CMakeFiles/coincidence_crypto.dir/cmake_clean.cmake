@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/ddh_vrf.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/ddh_vrf.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/fast_vrf.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/fast_vrf.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/key_registry.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/key_registry.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/prime.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/prime_group.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/prime_group.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/signer.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/signer.cpp.o.d"
+  "CMakeFiles/coincidence_crypto.dir/vrf.cpp.o"
+  "CMakeFiles/coincidence_crypto.dir/vrf.cpp.o.d"
+  "libcoincidence_crypto.a"
+  "libcoincidence_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/adversary.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/adversary.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/pending_pool.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/pending_pool.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/pending_pool.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/vector_clock.cpp" "src/sim/CMakeFiles/coincidence_sim.dir/vector_clock.cpp.o" "gcc" "src/sim/CMakeFiles/coincidence_sim.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coincidence_sim.dir/adversary.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/coincidence_sim.dir/metrics.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/coincidence_sim.dir/pending_pool.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/pending_pool.cpp.o.d"
+  "CMakeFiles/coincidence_sim.dir/simulation.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/coincidence_sim.dir/trace.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/coincidence_sim.dir/vector_clock.cpp.o"
+  "CMakeFiles/coincidence_sim.dir/vector_clock.cpp.o.d"
+  "libcoincidence_sim.a"
+  "libcoincidence_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coincidence_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ba.dir/test_approver.cpp.o"
+  "CMakeFiles/test_ba.dir/test_approver.cpp.o.d"
+  "CMakeFiles/test_ba.dir/test_approver_attacks.cpp.o"
+  "CMakeFiles/test_ba.dir/test_approver_attacks.cpp.o.d"
+  "CMakeFiles/test_ba.dir/test_ba_whp.cpp.o"
+  "CMakeFiles/test_ba.dir/test_ba_whp.cpp.o.d"
+  "CMakeFiles/test_ba.dir/test_baselines.cpp.o"
+  "CMakeFiles/test_ba.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/test_ba.dir/test_rbc.cpp.o"
+  "CMakeFiles/test_ba.dir/test_rbc.cpp.o.d"
+  "test_ba"
+  "test_ba.pdb"
+  "test_ba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_committee.dir/test_params.cpp.o"
+  "CMakeFiles/test_committee.dir/test_params.cpp.o.d"
+  "CMakeFiles/test_committee.dir/test_sampler.cpp.o"
+  "CMakeFiles/test_committee.dir/test_sampler.cpp.o.d"
+  "test_committee"
+  "test_committee.pdb"
+  "test_committee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

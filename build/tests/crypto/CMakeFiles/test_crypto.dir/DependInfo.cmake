@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_bignum.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_bignum.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_bignum.cpp.o.d"
+  "/root/repo/tests/crypto/test_ddh_vrf.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_ddh_vrf.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_ddh_vrf.cpp.o.d"
+  "/root/repo/tests/crypto/test_fast_vrf.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_fast_vrf.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_fast_vrf.cpp.o.d"
+  "/root/repo/tests/crypto/test_hmac.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_hmac.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_hmac.cpp.o.d"
+  "/root/repo/tests/crypto/test_prime.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_prime.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_prime.cpp.o.d"
+  "/root/repo/tests/crypto/test_prime_group.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_prime_group.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_prime_group.cpp.o.d"
+  "/root/repo/tests/crypto/test_sha256.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_sha256.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_sha256.cpp.o.d"
+  "/root/repo/tests/crypto/test_shamir.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_shamir.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_shamir.cpp.o.d"
+  "/root/repo/tests/crypto/test_signer.cpp" "tests/crypto/CMakeFiles/test_crypto.dir/test_signer.cpp.o" "gcc" "tests/crypto/CMakeFiles/test_crypto.dir/test_signer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coincidence_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ba/CMakeFiles/coincidence_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/coin/CMakeFiles/coincidence_coin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coincidence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/committee/CMakeFiles/coincidence_committee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coincidence_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

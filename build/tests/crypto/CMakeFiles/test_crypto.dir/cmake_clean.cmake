@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/test_bignum.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_bignum.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_ddh_vrf.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_ddh_vrf.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_fast_vrf.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_fast_vrf.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_hmac.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_hmac.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_prime.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_prime.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_prime_group.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_prime_group.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_sha256.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_sha256.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_shamir.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_shamir.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/test_signer.cpp.o"
+  "CMakeFiles/test_crypto.dir/test_signer.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

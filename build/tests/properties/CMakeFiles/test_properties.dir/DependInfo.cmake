@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/test_ba_properties.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_ba_properties.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_ba_properties.cpp.o.d"
+  "/root/repo/tests/properties/test_bignum_properties.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_bignum_properties.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_bignum_properties.cpp.o.d"
+  "/root/repo/tests/properties/test_coin_properties.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_coin_properties.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_coin_properties.cpp.o.d"
+  "/root/repo/tests/properties/test_committee_properties.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_committee_properties.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_committee_properties.cpp.o.d"
+  "/root/repo/tests/properties/test_fuzz_decoders.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_fuzz_decoders.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_fuzz_decoders.cpp.o.d"
+  "/root/repo/tests/properties/test_invariants.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_invariants.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/properties/test_safety_hunt.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_safety_hunt.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_safety_hunt.cpp.o.d"
+  "/root/repo/tests/properties/test_word_accounting.cpp" "tests/properties/CMakeFiles/test_properties.dir/test_word_accounting.cpp.o" "gcc" "tests/properties/CMakeFiles/test_properties.dir/test_word_accounting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coincidence_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ba/CMakeFiles/coincidence_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/coin/CMakeFiles/coincidence_coin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coincidence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/committee/CMakeFiles/coincidence_committee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coincidence_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/coincidence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/test_ba_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/test_ba_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_bignum_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/test_bignum_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_coin_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/test_coin_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_committee_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/test_committee_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_fuzz_decoders.cpp.o"
+  "CMakeFiles/test_properties.dir/test_fuzz_decoders.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_invariants.cpp.o"
+  "CMakeFiles/test_properties.dir/test_invariants.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_safety_hunt.cpp.o"
+  "CMakeFiles/test_properties.dir/test_safety_hunt.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_word_accounting.cpp.o"
+  "CMakeFiles/test_properties.dir/test_word_accounting.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

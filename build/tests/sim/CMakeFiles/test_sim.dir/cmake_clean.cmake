@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_adversary.cpp.o"
+  "CMakeFiles/test_sim.dir/test_adversary.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_faults.cpp.o"
+  "CMakeFiles/test_sim.dir/test_faults.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_pending_pool.cpp.o"
+  "CMakeFiles/test_sim.dir/test_pending_pool.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_simulation.cpp.o"
+  "CMakeFiles/test_sim.dir/test_simulation.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_vector_clock.cpp.o"
+  "CMakeFiles/test_sim.dir/test_vector_clock.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
