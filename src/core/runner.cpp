@@ -9,6 +9,7 @@
 #include "coin/shared_coin.h"
 #include "coin/whp_coin.h"
 #include "common/errors.h"
+#include "net/reliable_process.h"
 #include "sim/simulation.h"
 
 namespace coincidence::core {
@@ -100,6 +101,13 @@ std::unique_ptr<sim::Adversary> make_adversary(const RunOptions& o,
   return std::make_unique<sim::RandomAdversary>();
 }
 
+/// Sees through an optional ReliableProcess wrapper to the protocol.
+ba::BaProcess& as_ba(sim::Process& p) {
+  if (auto* wrapped = dynamic_cast<net::ReliableProcess*>(&p))
+    return dynamic_cast<ba::BaProcess&>(wrapped->inner());
+  return dynamic_cast<ba::BaProcess&>(p);
+}
+
 }  // namespace
 
 RunReport run_agreement(const RunOptions& options) {
@@ -110,7 +118,8 @@ RunReport run_agreement(const RunOptions& options) {
                       options.seed ^ 0x9e3779b97f4a7c15ULL,
                       options.strict_params);
   const std::size_t f = resilience_f(options.protocol, options.n, env);
-  const std::size_t faulty = options.crash + options.silent + options.junk;
+  const std::size_t faulty = options.crash + options.silent + options.junk +
+                             options.crash_recover;
   COIN_REQUIRE(faulty <= f, "run_agreement: fault mix exceeds resilience f");
 
   std::vector<ba::Value> inputs = options.inputs;
@@ -214,9 +223,14 @@ RunReport run_agreement(const RunOptions& options) {
   scfg.n = options.n;
   scfg.f = faulty;
   scfg.seed = options.seed;
+  scfg.network = options.network;
   sim::Simulation sim(scfg);
-  for (sim::ProcessId i = 0; i < options.n; ++i)
-    sim.add_process(make_process(i, inputs[i]));
+  for (sim::ProcessId i = 0; i < options.n; ++i) {
+    std::unique_ptr<sim::Process> p = make_process(i, inputs[i]);
+    if (options.reliable_channel)
+      p = std::make_unique<net::ReliableProcess>(std::move(p));
+    sim.add_process(std::move(p));
+  }
   sim.set_adversary(make_adversary(options, f));
 
   // Faults land on the highest ids.
@@ -227,13 +241,14 @@ RunReport run_agreement(const RunOptions& options) {
     sim.corrupt(--next, sim::FaultPlan::silent());
   for (std::size_t i = 0; i < options.junk; ++i)
     sim.corrupt(--next, sim::FaultPlan::junk());
+  for (std::size_t i = 0; i < options.crash_recover; ++i)
+    sim.corrupt(--next, sim::FaultPlan::crash_recover(options.recover_after));
 
   sim.start();
   sim.run_until([&] {
     for (sim::ProcessId i = 0; i < options.n; ++i) {
       if (sim.is_corrupted(i)) continue;
-      if (!dynamic_cast<ba::BaProcess&>(sim.process(i)).decided())
-        return false;
+      if (!as_ba(sim.process(i)).decided()) return false;
     }
     return true;
   });
@@ -245,7 +260,7 @@ RunReport run_agreement(const RunOptions& options) {
   report.agreement = true;
   for (sim::ProcessId i = 0; i < options.n; ++i) {
     if (sim.is_corrupted(i)) continue;
-    auto& p = dynamic_cast<ba::BaProcess&>(sim.process(i));
+    auto& p = as_ba(sim.process(i));
     if (!p.decided()) {
       report.all_correct_decided = false;
       continue;
@@ -260,6 +275,11 @@ RunReport run_agreement(const RunOptions& options) {
   report.correct_words = sim.metrics().correct_words();
   report.messages = sim.metrics().messages_sent();
   report.words_by_tag = sim.metrics().words_by_tag();
+  report.link_drops = sim.metrics().link_drops();
+  report.link_duplicates = sim.metrics().link_duplicates();
+  report.link_replays = sim.metrics().link_replays();
+  report.retransmits = sim.metrics().retransmits();
+  report.retransmit_words = sim.metrics().retransmit_words();
   for (sim::ProcessId i = 0; i < options.n; ++i)
     report.duration = std::max(report.duration, sim.depth_of(i));
   return report;

@@ -12,6 +12,7 @@
 #include "ba/value.h"
 #include "core/env.h"
 #include "sim/fault.h"
+#include "sim/link.h"
 
 namespace coincidence::core {
 
@@ -66,6 +67,19 @@ struct RunOptions {
   std::size_t crash = 0;
   std::size_t silent = 0;
   std::size_t junk = 0;
+  /// Crash-recover faults: down for `recover_after` deliveries, then
+  /// restarted via Process::on_recover. Counts against resilience like
+  /// any corruption (the adversary spent budget on it).
+  std::size_t crash_recover = 0;
+  std::uint64_t recover_after = 5000;
+
+  /// Link-fault profile for the underlying network (default: reliable,
+  /// zero overhead — legacy runs are bit-identical).
+  sim::NetworkProfile network;
+  /// Wraps every process in net::ReliableProcess, restoring exactly-once
+  /// delivery on top of a lossy `network`. Adds "net/dat"/"net/ack"
+  /// framing; retransmission words are reported separately.
+  bool reliable_channel = false;
 
   std::uint64_t max_rounds = 64;
 };
@@ -81,6 +95,13 @@ struct RunReport {
   std::map<std::string, std::uint64_t> words_by_tag;
   std::size_t faulty = 0;
   std::size_t protocol_f = 0;  // the f the protocol was configured with
+
+  // Link-fault / transport accounting (zero on a reliable network).
+  std::uint64_t link_drops = 0;
+  std::uint64_t link_duplicates = 0;
+  std::uint64_t link_replays = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmit_words = 0;  // repair overhead, not §2 words
 };
 
 /// Runs one agreement instance to completion (or whp-failure quiescence).

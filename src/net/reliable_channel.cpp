@@ -1,0 +1,167 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/ser.h"
+
+namespace coincidence::net {
+
+namespace {
+
+// Data frame: u64 seq | str inner_tag | u64 inner_words | blob payload.
+Bytes encode_data(std::uint64_t seq, const std::string& tag,
+                  std::size_t words, BytesView payload) {
+  Writer w;
+  w.u64(seq).str(tag).u64(words).blob(payload);
+  return w.take();
+}
+
+// Ack frame: u64 seq (cumulative acks would save words but complicate the
+// retransmit bookkeeping; per-frame acks keep every state transition
+// locally checkable, which the fuzz rows lean on).
+Bytes encode_ack(std::uint64_t seq) {
+  Writer w;
+  w.u64(seq);
+  return w.take();
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(ReliableChannelConfig cfg, DeliverFn deliver)
+    : cfg_(std::move(cfg)),
+      deliver_(std::move(deliver)),
+      dat_tag_(cfg_.tag + "/dat"),
+      ack_tag_(cfg_.tag + "/ack") {
+  COIN_REQUIRE(cfg_.initial_rto >= 1, "initial_rto must be >= 1");
+  COIN_REQUIRE(cfg_.max_rto >= cfg_.initial_rto,
+               "max_rto must be >= initial_rto");
+}
+
+void ReliableChannel::send(sim::Context& ctx, sim::ProcessId to,
+                           std::string tag, Bytes payload, std::size_t words) {
+  const std::uint64_t seq = next_seq_[to]++;
+  Outgoing out;
+  out.to = to;
+  out.frame = encode_data(seq, tag, words, payload);
+  out.words = words + 1;  // +1 word for the seq/length header
+  out.rto = cfg_.initial_rto;
+  out.due = ctx.now() + out.rto;
+  ctx.send(to, dat_tag_, out.frame, out.words);
+  outgoing_.emplace(std::make_pair(to, seq), std::move(out));
+  arm_timer(ctx);
+}
+
+void ReliableChannel::broadcast(sim::Context& ctx, std::string tag,
+                                Bytes payload, std::size_t words) {
+  for (sim::ProcessId to = 0; to < ctx.n(); ++to) {
+    send(ctx, to, tag, payload, words);
+  }
+}
+
+bool ReliableChannel::handle(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.tag == dat_tag_) return handle_data(ctx, msg);
+  if (msg.tag == ack_tag_) return handle_ack(msg);
+  return false;
+}
+
+bool ReliableChannel::handle_data(sim::Context& ctx, const sim::Message& msg) {
+  std::uint64_t seq = 0;
+  std::string inner_tag;
+  std::uint64_t inner_words = 0;
+  Bytes payload;
+  try {
+    Reader r(msg.payload);
+    seq = r.u64();
+    inner_tag = r.str();
+    inner_words = r.u64();
+    payload = r.blob();
+    r.done();
+  } catch (const CodecError&) {
+    return true;  // malformed frame from a Byzantine peer: consume, no ack
+  }
+
+  // Ack even duplicates — a repeat means our earlier ack was lost.
+  ctx.send(msg.from, ack_tag_, encode_ack(seq), 1);
+
+  PeerIn& in = incoming_[msg.from];
+  if (seq < in.frontier || in.above.count(seq) != 0) {
+    ++duplicates_suppressed_;
+    return true;
+  }
+  in.above.insert(seq);
+  while (in.above.erase(in.frontier) != 0) ++in.frontier;
+
+  ++delivered_;
+  if (deliver_) {
+    deliver_(msg.from, inner_tag, payload,
+             static_cast<std::size_t>(inner_words));
+  }
+  return true;
+}
+
+bool ReliableChannel::handle_ack(const sim::Message& msg) {
+  std::uint64_t seq = 0;
+  try {
+    Reader r(msg.payload);
+    seq = r.u64();
+    r.done();
+  } catch (const CodecError&) {
+    return true;
+  }
+  outgoing_.erase({msg.from, seq});
+  return true;
+}
+
+void ReliableChannel::on_wakeup(sim::Context& ctx) {
+  const std::uint64_t now = ctx.now();
+  if (armed_ && *armed_ > now) return;  // not ours (spurious / inner wakeup)
+  armed_.reset();
+  for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+    Outgoing& out = it->second;
+    if (out.due > now) {
+      ++it;
+      continue;
+    }
+    if (out.attempts >= cfg_.max_retransmits) {
+      ++abandoned_;
+      it = outgoing_.erase(it);
+      continue;
+    }
+    ++out.attempts;
+    ++retransmits_;
+    ctx.send_retransmission(out.to, dat_tag_, out.frame, out.words);
+    out.rto = std::min(out.rto * 2, cfg_.max_rto);
+    out.due = now + out.rto;
+    ++it;
+  }
+  arm_timer(ctx);
+}
+
+void ReliableChannel::arm_timer(sim::Context& ctx) {
+  if (outgoing_.empty()) return;
+  std::uint64_t min_due = UINT64_MAX;
+  for (const auto& [key, out] : outgoing_) {
+    min_due = std::min(min_due, out.due);
+  }
+  // Skip if an already-armed wakeup fires early enough; extra wakeups are
+  // harmless (on_wakeup re-checks dues) but bloat the timer heap.
+  if (armed_ && *armed_ <= min_due) return;
+  const std::uint64_t now = ctx.now();
+  const std::uint64_t delay = min_due > now ? min_due - now : 1;
+  ctx.schedule_wakeup(delay);
+  armed_ = now + delay;
+}
+
+void ReliableChannel::reset() {
+  outgoing_.clear();
+  next_seq_.clear();
+  incoming_.clear();
+  armed_.reset();
+  retransmits_ = 0;
+  abandoned_ = 0;
+  delivered_ = 0;
+  duplicates_suppressed_ = 0;
+}
+
+}  // namespace coincidence::net

@@ -1,0 +1,50 @@
+// Decorator giving any Process exactly-once delivery over lossy links.
+//
+// ReliableProcess owns an inner Process and a ReliableChannel. Outbound
+// sends from the inner protocol are framed through the channel (except
+// self-sends — the simulator's self-queue is already reliable); inbound
+// channel frames are unwrapped and handed to the inner process as
+// synthetic messages carrying the original tag/payload/words. The inner
+// protocol is completely unaware of the transport: the same BaProcess
+// binary decides over lossless links and over 20%-drop duplicating ones.
+//
+// Crash recovery: the channel's sequence numbers and unacked queue are
+// in-memory state, so on_recover resets the channel before the inner
+// process sees its snapshot.
+#pragma once
+
+#include <memory>
+
+#include "net/reliable_channel.h"
+#include "sim/process.h"
+
+namespace coincidence::net {
+
+class ReliableProcess final : public sim::Process {
+ public:
+  explicit ReliableProcess(std::unique_ptr<sim::Process> inner,
+                           ReliableChannelConfig cfg = {});
+  ~ReliableProcess() override;
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_wakeup(sim::Context& ctx) override;
+  void on_corrupt(sim::Context& ctx) override;
+  void on_recover(sim::Context& ctx, const Bytes& snapshot) override;
+
+  /// The wrapped protocol — harnesses downcast this to read decisions.
+  sim::Process& inner() { return *inner_; }
+  const sim::Process& inner() const { return *inner_; }
+
+  const ReliableChannel& channel() const { return channel_; }
+
+ private:
+  class ChannelContext;  // routes inner sends through the channel
+
+  std::unique_ptr<sim::Process> inner_;
+  ReliableChannel channel_;
+  std::unique_ptr<ChannelContext> shim_;
+  sim::Context* outer_ = nullptr;  // bound for the duration of a callback
+};
+
+}  // namespace coincidence::net

@@ -18,11 +18,13 @@ namespace coincidence::sim {
 
 struct FaultPlan {
   enum class Mode {
-    kCorrect,    // follows the protocol (not corrupted)
-    kCrash,      // stops sending and receiving at corruption time
-    kSilent,     // keeps receiving, sends nothing
-    kSelective,  // sends only to the listed targets (omission attack)
-    kJunk,       // payloads replaced by random bytes of the same length
+    kCorrect,       // follows the protocol (not corrupted)
+    kCrash,         // stops sending and receiving at corruption time
+    kSilent,        // keeps receiving, sends nothing
+    kSelective,     // sends only to the listed targets (omission attack)
+    kJunk,          // payloads replaced by random bytes of the same length
+    kCrashRecover,  // crashes, then restarts after `recover_after`
+                    // deliveries via Process::on_recover(snapshot)
   };
 
   Mode mode = Mode::kCorrect;
@@ -30,12 +32,23 @@ struct FaultPlan {
   /// For kSelective: ids that still receive this process's messages.
   std::vector<ProcessId> selective_targets;
 
+  /// For kCrashRecover: global deliveries the process stays down before
+  /// the runtime restarts it (its in-memory state is presumed lost; only
+  /// what it passed to Context::persist survives).
+  std::uint64_t recover_after = 0;
+
   static FaultPlan correct() { return {}; }
   static FaultPlan crash() { return {Mode::kCrash, {}}; }
   static FaultPlan silent() { return {Mode::kSilent, {}}; }
   static FaultPlan junk() { return {Mode::kJunk, {}}; }
   static FaultPlan selective(std::vector<ProcessId> targets) {
     return {Mode::kSelective, std::move(targets)};
+  }
+  static FaultPlan crash_recover(std::uint64_t recover_after) {
+    FaultPlan p;
+    p.mode = Mode::kCrashRecover;
+    p.recover_after = recover_after;
+    return p;
   }
 };
 

@@ -1,0 +1,95 @@
+// Lossy-link fault injection: what the network substrate itself may do
+// to a message, independently of the Byzantine adversary.
+//
+// The paper's model (§2) assumes reliable authenticated links: every
+// message between correct processes is eventually delivered exactly
+// once. A LinkPlan deliberately breaks that assumption — packets can be
+// dropped, duplicated, or replaced by replays of earlier traffic on the
+// same link — so the repo can exercise protocol behaviour when the
+// substrate misbehaves (and so src/net/ReliableChannel has something to
+// repair). All link decisions are drawn from one dedicated Rng derived
+// from SimConfig::seed, so runs stay bit-for-bit replayable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+/// Per-link misbehaviour probabilities. The default plan is reliable:
+/// the runtime draws no randomness at all for reliable links, so
+/// existing seeded runs are unchanged by this feature's existence.
+struct LinkPlan {
+  /// Probability a message is silently lost (never enters the pool).
+  double drop_p = 0.0;
+  /// Probability a delivered-to-the-pool message is duplicated; each
+  /// duplication event enqueues 1..max_duplicates extra copies.
+  double dup_p = 0.0;
+  /// Cap on extra copies per duplication event (>= 1 when dup_p > 0).
+  std::size_t max_duplicates = 1;
+  /// Probability each send on this link additionally re-enqueues a copy
+  /// of a previously *delivered* message on the same link (a stale
+  /// packet bouncing around the network).
+  double replay_p = 0.0;
+  /// How many delivered messages per link are remembered as replay
+  /// candidates (bounds the history buffer).
+  std::size_t replay_window = 8;
+
+  /// True when this plan never perturbs traffic — the runtime skips all
+  /// randomness draws in that case, preserving legacy trace equality.
+  bool reliable() const {
+    return drop_p <= 0.0 && dup_p <= 0.0 && replay_p <= 0.0;
+  }
+
+  static LinkPlan lossless() { return {}; }
+  static LinkPlan lossy(double drop) {
+    LinkPlan p;
+    p.drop_p = drop;
+    return p;
+  }
+  static LinkPlan duplicating(double dup, std::size_t max_copies = 1) {
+    LinkPlan p;
+    p.dup_p = dup;
+    p.max_duplicates = max_copies;
+    return p;
+  }
+  static LinkPlan replaying(double replay, std::size_t window = 8) {
+    LinkPlan p;
+    p.replay_p = replay;
+    p.replay_window = window;
+    return p;
+  }
+};
+
+/// The network's fault configuration: one default LinkPlan plus optional
+/// per-(from, to) overrides. Self-links (from == to) are exempt — local
+/// delivery models an in-process queue, not a network hop.
+struct NetworkProfile {
+  LinkPlan default_link;
+  std::map<std::pair<ProcessId, ProcessId>, LinkPlan> overrides;
+
+  const LinkPlan& link(ProcessId from, ProcessId to) const {
+    auto it = overrides.find({from, to});
+    return it == overrides.end() ? default_link : it->second;
+  }
+
+  /// True when no link anywhere can misbehave.
+  bool reliable() const {
+    if (!default_link.reliable()) return false;
+    for (const auto& [key, plan] : overrides)
+      if (!plan.reliable()) return false;
+    return true;
+  }
+
+  static NetworkProfile lossless() { return {}; }
+  static NetworkProfile uniform(LinkPlan plan) {
+    NetworkProfile p;
+    p.default_link = plan;
+    return p;
+  }
+};
+
+}  // namespace coincidence::sim

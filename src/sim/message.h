@@ -30,6 +30,12 @@ struct Message {
   // depth over all decision events.
   std::uint64_t causal_depth = 0;
   std::uint64_t send_seq = 0;  // global send order (not visible to protocols)
+
+  /// Set by Context::send_retransmission: this send repeats an earlier
+  /// payload to repair link loss. Metrics attribute its words to the
+  /// retransmission-overhead bucket instead of the paper's §2 word
+  /// complexity (which assumes reliable links).
+  bool retransmit = false;
 };
 
 /// What a *legal* (delayed-adaptive) adversary is allowed to see about an

@@ -7,16 +7,26 @@ namespace coincidence::sim {
 void Metrics::record_send(const Message& msg, bool sender_correct) {
   ++messages_sent_;
   total_words_ += msg.words;
-  if (sender_correct) {
-    correct_words_ += msg.words;
-    // Bucket by the final tag component — the message *kind* (init, echo,
-    // ok, first, second, bval, ...) — so harnesses can split cost per
-    // protocol phase regardless of instance/round prefixes.
-    auto slash = msg.tag.rfind('/');
-    std::string bucket =
-        slash == std::string::npos ? msg.tag : msg.tag.substr(slash + 1);
-    words_by_tag_[bucket] += msg.words;
+  if (!sender_correct) return;
+  if (msg.retransmit) {
+    // Repair traffic: real wire cost, but not part of the §2 measure.
+    ++retransmits_;
+    retransmit_words_ += msg.words;
+    return;
   }
+  correct_words_ += msg.words;
+  // Bucket by the final tag component — the message *kind* (init, echo,
+  // ok, first, second, bval, ...) — so harnesses can split cost per
+  // protocol phase regardless of instance/round prefixes.
+  auto slash = msg.tag.rfind('/');
+  std::string bucket =
+      slash == std::string::npos ? msg.tag : msg.tag.substr(slash + 1);
+  words_by_tag_[bucket] += msg.words;
+}
+
+void Metrics::record_link_drop(const Message& msg) {
+  ++link_drops_;
+  link_dropped_words_ += msg.words;
 }
 
 void Metrics::record_decision_depth(std::uint64_t depth) {
@@ -29,6 +39,12 @@ void Metrics::reset() {
   messages_sent_ = 0;
   deliveries_ = 0;
   max_decision_depth_ = 0;
+  link_drops_ = 0;
+  link_dropped_words_ = 0;
+  link_duplicates_ = 0;
+  link_replays_ = 0;
+  retransmits_ = 0;
+  retransmit_words_ = 0;
   words_by_tag_.clear();
 }
 

@@ -15,12 +15,21 @@ class Metrics {
  public:
   /// Records a sent message. `sender_correct` selects whether it counts
   /// toward the paper's word complexity (only correct senders do).
+  /// Retransmissions (msg.retransmit) are attributed to the separate
+  /// retransmission-overhead bucket, never to correct_words — the §2
+  /// measure assumes reliable links, so repair traffic must not skew it.
   void record_send(const Message& msg, bool sender_correct);
 
   void record_delivery() { ++deliveries_; }
 
   /// Folds a decision event's causal depth into the duration metric.
   void record_decision_depth(std::uint64_t depth);
+
+  // Lossy-link events (sim/link.h). Duplicates/replays charge no words
+  // anywhere: the network, not a process, created the copy.
+  void record_link_drop(const Message& msg);
+  void record_link_duplicate() { ++link_duplicates_; }
+  void record_link_replay() { ++link_replays_; }
 
   /// Words sent by correct processes (the paper's complexity measure).
   std::uint64_t correct_words() const { return correct_words_; }
@@ -30,6 +39,16 @@ class Metrics {
   std::uint64_t deliveries() const { return deliveries_; }
   /// Max causal depth over recorded decision events (paper "duration").
   std::uint64_t duration() const { return max_decision_depth_; }
+
+  // Link-fault accounting.
+  std::uint64_t link_drops() const { return link_drops_; }
+  std::uint64_t link_dropped_words() const { return link_dropped_words_; }
+  std::uint64_t link_duplicates() const { return link_duplicates_; }
+  std::uint64_t link_replays() const { return link_replays_; }
+  /// Retransmissions by correct processes, reported separately from
+  /// correct_words (the §2 measure stays comparable across profiles).
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t retransmit_words() const { return retransmit_words_; }
 
   /// Correct-sender words bucketed by the final tag component (the
   /// message kind: init/echo/ok/first/...) — lets the benches split cost
@@ -46,6 +65,12 @@ class Metrics {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t max_decision_depth_ = 0;
+  std::uint64_t link_drops_ = 0;
+  std::uint64_t link_dropped_words_ = 0;
+  std::uint64_t link_duplicates_ = 0;
+  std::uint64_t link_replays_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t retransmit_words_ = 0;
   std::map<std::string, std::uint64_t> words_by_tag_;
 };
 

@@ -26,6 +26,15 @@ class Observer {
 
   /// A process was corrupted with the given behaviour.
   virtual void on_corrupt(ProcessId /*target*/, const FaultPlan& /*plan*/) {}
+
+  /// A kCrashRecover process came back up (after on_recover ran).
+  virtual void on_recover(ProcessId /*target*/) {}
+
+  /// The lossy link layer dropped `msg` (it will never be delivered).
+  virtual void on_link_drop(const Message& /*msg*/) {}
+
+  /// The lossy link layer enqueued an extra copy / stale replay of `msg`.
+  virtual void on_link_duplicate(const Message& /*msg*/) {}
 };
 
 }  // namespace coincidence::sim

@@ -34,11 +34,38 @@ class Context {
   virtual void broadcast(std::string tag, Bytes payload,
                          std::size_t words) = 0;
 
+  /// A send that repeats an earlier payload to repair link loss (used by
+  /// net::ReliableChannel). Identical on the wire, but Metrics attribute
+  /// its words to the retransmission-overhead bucket, keeping the §2
+  /// word-complexity measure comparable across lossy and reliable runs.
+  /// Default: an ordinary send (for harness Contexts without metering).
+  virtual void send_retransmission(ProcessId to, std::string tag,
+                                   Bytes payload, std::size_t words) {
+    send(to, std::move(tag), std::move(payload), words);
+  }
+
   /// Per-process deterministic randomness (local coins, Ben-Or baseline).
   virtual Rng& rng() = 0;
 
   /// Current causal depth observed by this process.
   virtual std::uint64_t causal_depth() const = 0;
+
+  /// Global delivery count — the simulator's only notion of elapsed
+  /// "time". Protocols must not branch on it (it is scheduler-dependent);
+  /// it exists so transport-level backoff (net::ReliableChannel) can be
+  /// expressed in delivery-events. Default for harness Contexts: 0.
+  virtual std::uint64_t now() const { return 0; }
+
+  /// Requests an on_wakeup callback once `delay` further deliveries have
+  /// occurred (fires even if the network drains first — the runtime
+  /// advances idle "time" to the next due wakeup). Wakeups are lost if
+  /// the process crashes. Default: ignored (harness Contexts).
+  virtual void schedule_wakeup(std::uint64_t delay) { (void)delay; }
+
+  /// Writes `snapshot` to this process's stable storage, overwriting any
+  /// previous snapshot. Stable storage survives kCrashRecover faults and
+  /// is handed back via Process::on_recover. Default: dropped.
+  virtual void persist(BytesView snapshot) { (void)snapshot; }
 };
 
 class Process {
@@ -51,6 +78,20 @@ class Process {
   /// Invoked when the adversary corrupts this process. Default: nothing —
   /// the runtime-level FaultPlan already controls the visible behaviour.
   virtual void on_corrupt(Context& /*ctx*/) {}
+
+  /// A wakeup requested via Context::schedule_wakeup came due. A single
+  /// callback serves all outstanding requests at or before now().
+  virtual void on_wakeup(Context& /*ctx*/) {}
+
+  /// A kCrashRecover process restarting. `snapshot` is the last blob the
+  /// process passed to Context::persist (empty if it never persisted).
+  /// Contract: the implementation must treat its in-memory state as lost
+  /// — reset everything and rebuild only from `snapshot`; anything else
+  /// simulates RAM surviving a power cycle. Default: nothing (the
+  /// process rejoins as a passive participant with stale state; safe for
+  /// quorum protocols whose handlers are idempotent, but it may never
+  /// decide).
+  virtual void on_recover(Context& /*ctx*/, const Bytes& /*snapshot*/) {}
 };
 
 }  // namespace coincidence::sim

@@ -14,8 +14,18 @@ struct Simulation::Slot {
   Rng rng{0};
   FaultPlan fault;            // kCorrect until corrupted
   bool corrupted = false;
+  bool recovered = false;     // kCrashRecover process that restarted
+  std::uint64_t wakeup_epoch = 0;  // bumped on crash: stale timers die
   std::uint64_t depth = 0;    // causal depth observed so far
   std::deque<Message> self_queue;
+  Bytes stable_storage;       // survives kCrashRecover (Context::persist)
+
+  /// Crash semantics apply: a kCrash process forever, a kCrashRecover
+  /// process until its restart flips the mode back to kCorrect.
+  bool crash_like() const {
+    return fault.mode == FaultPlan::Mode::kCrash ||
+           fault.mode == FaultPlan::Mode::kCrashRecover;
+  }
 };
 
 class Simulation::SlotContext final : public Context {
@@ -35,10 +45,27 @@ class Simulation::SlotContext final : public Context {
       sim_->enqueue_send(id_, to, tag, payload, words);
   }
 
+  void send_retransmission(ProcessId to, std::string tag, Bytes payload,
+                           std::size_t words) override {
+    sim_->enqueue_send(id_, to, std::move(tag), std::move(payload), words,
+                       /*retransmit=*/true);
+  }
+
   Rng& rng() override { return sim_->slots_[id_]->rng; }
 
   std::uint64_t causal_depth() const override {
     return sim_->slots_[id_]->depth;
+  }
+
+  std::uint64_t now() const override { return sim_->deliveries_; }
+
+  void schedule_wakeup(std::uint64_t delay) override {
+    sim_->schedule_wakeup_for(id_, delay);
+  }
+
+  void persist(BytesView snapshot) override {
+    sim_->slots_[id_]->stable_storage.assign(snapshot.begin(),
+                                             snapshot.end());
   }
 
  private:
@@ -48,7 +75,12 @@ class Simulation::SlotContext final : public Context {
 
 // ---------------------------------------------------------- Simulation --
 
-Simulation::Simulation(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+// The link Rng's seed is derived (not forked) from cfg.seed so that the
+// scheduling stream and the per-process forks are byte-identical to a
+// run without link faults — enabling a NetworkProfile must not change
+// anything else about the run.
+Simulation::Simulation(SimConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), link_rng_(cfg.seed ^ 0x6c696e6b5f726e67ULL) {
   COIN_REQUIRE(cfg_.n > 0, "Simulation needs at least one process");
   if (cfg_.fairness_bound == 0) cfg_.fairness_bound = 16 * cfg_.n;
   adversary_ = std::make_unique<RandomAdversary>();
@@ -81,15 +113,21 @@ void Simulation::add_observer(std::shared_ptr<Observer> observer) {
 void Simulation::corrupt(ProcessId id, FaultPlan plan) {
   COIN_REQUIRE(id < slots_.size(), "corrupt: bad id");
   Slot& slot = *slots_[id];
-  if (slot.corrupted) {  // re-corruption just updates the behaviour
-    slot.fault = std::move(plan);
-    return;
+  const bool fresh = !slot.corrupted;
+  if (fresh) {
+    COIN_REQUIRE(corrupted_count_ < cfg_.f,
+                 "adversary corruption budget f exhausted");
+    slot.corrupted = true;
+    ++corrupted_count_;
   }
-  COIN_REQUIRE(corrupted_count_ < cfg_.f,
-               "adversary corruption budget f exhausted");
-  slot.corrupted = true;
-  slot.fault = std::move(plan);
-  ++corrupted_count_;
+  slot.fault = std::move(plan);  // re-corruption just updates the behaviour
+  if (slot.crash_like()) ++slot.wakeup_epoch;  // pending timers are lost
+  if (slot.fault.mode == FaultPlan::Mode::kCrashRecover) {
+    slot.recovered = false;
+    recoveries_.push({deliveries_ + slot.fault.recover_after, timer_seq_++,
+                      id, slot.wakeup_epoch});
+  }
+  if (!fresh) return;
   for (auto& obs : observers_) obs->on_corrupt(id, slot.fault);
   if (started_) slot.process->on_corrupt(*slot.context);
 }
@@ -97,6 +135,16 @@ void Simulation::corrupt(ProcessId id, FaultPlan plan) {
 bool Simulation::is_corrupted(ProcessId id) const {
   COIN_REQUIRE(id < slots_.size(), "is_corrupted: bad id");
   return slots_[id]->corrupted;
+}
+
+bool Simulation::is_down(ProcessId id) const {
+  COIN_REQUIRE(id < slots_.size(), "is_down: bad id");
+  return slots_[id]->fault.mode == FaultPlan::Mode::kCrashRecover;
+}
+
+bool Simulation::has_recovered(ProcessId id) const {
+  COIN_REQUIRE(id < slots_.size(), "has_recovered: bad id");
+  return slots_[id]->recovered;
 }
 
 Process& Simulation::process(ProcessId id) {
@@ -110,7 +158,8 @@ std::uint64_t Simulation::depth_of(ProcessId id) const {
 }
 
 void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
-                              Bytes payload, std::size_t words) {
+                              Bytes payload, std::size_t words,
+                              bool retransmit) {
   COIN_REQUIRE(to < cfg_.n, "send: bad destination");
   Slot& sender = *slots_[from];
 
@@ -118,6 +167,7 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
   if (sender.corrupted) {
     switch (sender.fault.mode) {
       case FaultPlan::Mode::kCrash:
+      case FaultPlan::Mode::kCrashRecover:  // down: nothing leaves
       case FaultPlan::Mode::kSilent:
         return;  // nothing leaves a crashed/silent process
       case FaultPlan::Mode::kSelective: {
@@ -142,6 +192,7 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
   msg.words = words;
   msg.causal_depth = sender.depth + 1;
   msg.send_seq = send_seq_++;
+  msg.retransmit = retransmit;
 
   metrics_.record_send(msg, !sender.corrupted);
   for (auto& obs : observers_) obs->on_send(msg, !sender.corrupted);
@@ -151,8 +202,67 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
   if (to == from) {
     sender.self_queue.push_back(std::move(msg));  // free local delivery
   } else {
+    push_through_link(std::move(msg));
+  }
+}
+
+// The lossy-link layer sits between the send event and the pending pool:
+// the send already happened (metrics/observers above saw it — the sender
+// paid its word cost), but the substrate may lose the packet, enqueue
+// extra copies, or belch up a stale packet from the same link's past.
+// Every draw comes from link_rng_, and only for links whose plan is not
+// reliable, so (a) runs are replayable and (b) reliable runs are
+// byte-identical to pre-link-fault behaviour.
+void Simulation::push_through_link(Message msg) {
+  const LinkPlan& plan = cfg_.network.link(msg.from, msg.to);
+  if (plan.reliable()) {
+    pending_.push(std::move(msg), deliveries_);
+    return;
+  }
+
+  if (plan.drop_p > 0.0 && link_rng_.next_bool(plan.drop_p)) {
+    metrics_.record_link_drop(msg);
+    for (auto& obs : observers_) obs->on_link_drop(msg);
+  } else {
+    std::size_t copies = 0;
+    if (plan.dup_p > 0.0 && link_rng_.next_bool(plan.dup_p)) {
+      copies = 1;
+      if (plan.max_duplicates > 1)
+        copies += static_cast<std::size_t>(
+            link_rng_.next_below(plan.max_duplicates));
+    }
+    for (std::size_t i = 0; i < copies; ++i) {
+      Message dup = msg;
+      dup.id = next_msg_id_++;
+      metrics_.record_link_duplicate();
+      for (auto& obs : observers_) obs->on_link_duplicate(dup);
+      pending_.push(std::move(dup), deliveries_);
+    }
     pending_.push(std::move(msg), deliveries_);
   }
+
+  // Replay is keyed to send *activity* on the link, not to this packet's
+  // fate: a dropped fresh packet can still shake loose a stale one.
+  if (plan.replay_p > 0.0 && link_rng_.next_bool(plan.replay_p)) {
+    auto it = replay_history_.find({msg.from, msg.to});
+    if (it != replay_history_.end() && !it->second.empty()) {
+      Message replay =
+          it->second[static_cast<std::size_t>(
+              link_rng_.next_below(it->second.size()))];
+      replay.id = next_msg_id_++;
+      metrics_.record_link_replay();
+      for (auto& obs : observers_) obs->on_link_duplicate(replay);
+      pending_.push(std::move(replay), deliveries_);
+    }
+  }
+}
+
+void Simulation::remember_delivered(const Message& msg) {
+  const LinkPlan& plan = cfg_.network.link(msg.from, msg.to);
+  if (plan.replay_p <= 0.0 || plan.replay_window == 0) return;
+  auto& history = replay_history_[{msg.from, msg.to}];
+  history.push_back(msg);
+  while (history.size() > plan.replay_window) history.pop_front();
 }
 
 void Simulation::inject(ProcessId from, ProcessId to, std::string tag,
@@ -180,8 +290,8 @@ void Simulation::inject(ProcessId from, ProcessId to, std::string tag,
 
 void Simulation::dispatch_to(ProcessId to, const Message& msg) {
   Slot& receiver = *slots_[to];
-  if (receiver.corrupted && receiver.fault.mode == FaultPlan::Mode::kCrash)
-    return;  // crashed processes receive nothing
+  if (receiver.corrupted && receiver.crash_like())
+    return;  // crashed/down processes receive nothing
   receiver.depth = std::max(receiver.depth, msg.causal_depth);
   receiver.process->on_message(*receiver.context, msg);
   drain_self_queue(to);
@@ -190,14 +300,65 @@ void Simulation::dispatch_to(ProcessId to, const Message& msg) {
 void Simulation::drain_self_queue(ProcessId id) {
   Slot& slot = *slots_[id];
   while (!slot.self_queue.empty()) {
-    if (slot.corrupted && slot.fault.mode == FaultPlan::Mode::kCrash) {
-      slot.self_queue.clear();
+    if (slot.corrupted && slot.crash_like()) {
+      slot.self_queue.clear();  // in-memory queue: lost in the crash
       return;
     }
     Message msg = std::move(slot.self_queue.front());
     slot.self_queue.pop_front();
     slot.depth = std::max(slot.depth, msg.causal_depth);
     slot.process->on_message(*slot.context, msg);
+  }
+}
+
+// ----------------------------------------------------- timers/recovery --
+
+void Simulation::schedule_wakeup_for(ProcessId id, std::uint64_t delay) {
+  COIN_REQUIRE(id < slots_.size(), "schedule_wakeup: bad id");
+  wakeups_.push(
+      {deliveries_ + delay, timer_seq_++, id, slots_[id]->wakeup_epoch});
+}
+
+std::optional<std::uint64_t> Simulation::next_timer_due() const {
+  std::optional<std::uint64_t> due;
+  if (!wakeups_.empty()) due = std::get<0>(wakeups_.top());
+  if (!recoveries_.empty()) {
+    std::uint64_t r = std::get<0>(recoveries_.top());
+    if (!due || r < *due) due = r;
+  }
+  return due;
+}
+
+void Simulation::recover_process(ProcessId id) {
+  Slot& slot = *slots_[id];
+  // A re-corruption may have replaced the crash-recover plan (e.g. with a
+  // permanent crash) while the restart was pending; the stale timer then
+  // must not resurrect the process.
+  if (slot.fault.mode != FaultPlan::Mode::kCrashRecover) return;
+  slot.fault.mode = FaultPlan::Mode::kCorrect;
+  slot.recovered = true;
+  slot.process->on_recover(*slot.context, slot.stable_storage);
+  drain_self_queue(id);
+  for (auto& obs : observers_) obs->on_recover(id);
+}
+
+void Simulation::fire_due_timers() {
+  // Restarts first: a process whose wakeup and restart are both due
+  // should come back before (not instead of) seeing the wakeup dropped.
+  while (!recoveries_.empty() &&
+         std::get<0>(recoveries_.top()) <= deliveries_) {
+    ProcessId id = std::get<2>(recoveries_.top());
+    recoveries_.pop();
+    recover_process(id);
+  }
+  while (!wakeups_.empty() && std::get<0>(wakeups_.top()) <= deliveries_) {
+    TimerEntry e = wakeups_.top();
+    wakeups_.pop();
+    Slot& slot = *slots_[std::get<2>(e)];
+    if (std::get<3>(e) != slot.wakeup_epoch) continue;  // pre-crash timer
+    if (slot.corrupted && slot.crash_like()) continue;  // down right now
+    slot.process->on_wakeup(*slot.context);
+    drain_self_queue(std::get<2>(e));
   }
 }
 
@@ -216,8 +377,7 @@ void Simulation::start() {
   started_ = true;
   apply_corruptions();
   for (auto& slot : slots_) {
-    if (slot->corrupted && slot->fault.mode == FaultPlan::Mode::kCrash)
-      continue;
+    if (slot->corrupted && slot->crash_like()) continue;
     slot->process->on_start(*slot->context);
   }
   for (ProcessId id = 0; id < slots_.size(); ++id) drain_self_queue(id);
@@ -225,7 +385,23 @@ void Simulation::start() {
 
 bool Simulation::step() {
   COIN_REQUIRE(started_, "step before start");
-  if (pending_.empty()) return false;
+  fire_due_timers();
+
+  if (pending_.empty()) {
+    // Idle network. If a wakeup or restart is scheduled, advance "time"
+    // straight to it (deliveries are the only clock; nothing else can
+    // move it while no message is in flight). Its callback may enqueue
+    // new sends — retransmissions typically do — so this revives runs a
+    // pure drop-fault would otherwise strand.
+    auto due = next_timer_due();
+    if (!due) return false;
+    if (*due >= cfg_.max_deliveries)
+      throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
+    deliveries_ = std::max(deliveries_, *due);
+    fire_due_timers();
+    return true;
+  }
+
   if (deliveries_ >= cfg_.max_deliveries)
     throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
 
@@ -247,6 +423,7 @@ bool Simulation::step() {
   ++deliveries_;
   metrics_.record_delivery();
   dispatch_to(msg.to, msg);
+  remember_delivered(msg);
   for (auto& obs : observers_) obs->on_deliver(msg);
   adversary_->observe_delivery(msg);
   return true;

@@ -16,11 +16,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/adversary.h"
 #include "sim/fault.h"
+#include "sim/link.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/observer.h"
@@ -42,6 +48,12 @@ struct SimConfig {
   bool allow_content_visibility = false;
   /// Hard stop against runaway protocols.
   std::uint64_t max_deliveries = 200'000'000;
+  /// Lossy-link fault injection (sim/link.h). The default profile is
+  /// reliable and draws no randomness, so legacy runs are unchanged.
+  /// Link faults are driven by a dedicated Rng derived from `seed`
+  /// (never the scheduling Rng), so enabling them does not perturb the
+  /// adversary's or the processes' random streams.
+  NetworkProfile network;
 };
 
 class Simulation {
@@ -70,6 +82,15 @@ class Simulation {
 
   bool is_corrupted(ProcessId id) const;
   std::size_t corrupted_count() const { return corrupted_count_; }
+
+  /// True while a kCrashRecover process is down (crashed, not yet
+  /// restarted). Down processes neither send nor receive.
+  bool is_down(ProcessId id) const;
+
+  /// True once a kCrashRecover process has restarted. It still counts
+  /// against the corruption budget (the adversary spent it), but its
+  /// behaviour is correct again from the restart on.
+  bool has_recovered(ProcessId id) const;
 
   /// Adversary-crafted message from a corrupted process (must already be
   /// corrupted — correct processes cannot be impersonated, modelling
@@ -111,11 +132,23 @@ class Simulation {
   void dispatch_to(ProcessId to, const Message& msg);
   void drain_self_queue(ProcessId id);
   void enqueue_send(ProcessId from, ProcessId to, std::string tag,
-                    Bytes payload, std::size_t words);
+                    Bytes payload, std::size_t words,
+                    bool retransmit = false);
   void apply_corruptions();
+
+  // Lossy-link layer (sim/link.h), applied between enqueue and the pool.
+  void push_through_link(Message msg);
+  void remember_delivered(const Message& msg);
+
+  // Delivery-event timers: process wakeups and crash-recover restarts.
+  void schedule_wakeup_for(ProcessId id, std::uint64_t delay);
+  void fire_due_timers();
+  std::optional<std::uint64_t> next_timer_due() const;
+  void recover_process(ProcessId id);
 
   SimConfig cfg_;
   Rng rng_;
+  Rng link_rng_;  // dedicated stream: link faults never perturb scheduling
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unique_ptr<Adversary> adversary_;
   std::vector<std::shared_ptr<Observer>> observers_;
@@ -126,6 +159,22 @@ class Simulation {
   std::uint64_t deliveries_ = 0;
   std::size_t corrupted_count_ = 0;
   bool started_ = false;
+
+  // Min-heaps over (due tick, insertion seq, process, wakeup epoch):
+  // fire order is deterministic regardless of container internals. The
+  // epoch invalidates wakeups scheduled before a crash — timers are
+  // in-memory state and do not survive into a recovered incarnation.
+  using TimerEntry =
+      std::tuple<std::uint64_t, std::uint64_t, ProcessId, std::uint64_t>;
+  using TimerHeap = std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                                        std::greater<TimerEntry>>;
+  TimerHeap wakeups_;
+  TimerHeap recoveries_;
+  std::uint64_t timer_seq_ = 0;
+
+  // Per-link ring of recently delivered messages: replay candidates.
+  std::map<std::pair<ProcessId, ProcessId>, std::deque<Message>>
+      replay_history_;
 };
 
 }  // namespace coincidence::sim

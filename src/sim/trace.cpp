@@ -11,6 +11,7 @@ const char* fault_mode_name(FaultPlan::Mode mode) {
     case FaultPlan::Mode::kSilent: return "silent";
     case FaultPlan::Mode::kSelective: return "selective";
     case FaultPlan::Mode::kJunk: return "junk";
+    case FaultPlan::Mode::kCrashRecover: return "crash-recover";
   }
   return "unknown";
 }

@@ -221,6 +221,64 @@ TEST(Approver, OkCommitteeMembersSendAtMostOneOk) {
   EXPECT_GT(senders, 0u);
 }
 
+/// Hands every delivered message to the wrapped process twice, back to
+/// back — the harshest duplicate-delivery pattern a lossy link can
+/// produce. An idempotent protocol sends nothing extra, so the run's
+/// trace (and therefore its word count) is unchanged.
+class DeliverTwice final : public sim::Process {
+ public:
+  explicit DeliverTwice(std::unique_ptr<sim::Process> inner)
+      : inner_(std::move(inner)) {}
+  void on_start(sim::Context& ctx) override { inner_->on_start(ctx); }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    inner_->on_message(ctx, msg);
+    inner_->on_message(ctx, msg);
+  }
+  sim::Process& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<sim::Process> inner_;
+};
+
+TEST(Approver, DuplicateDeliveryIsIdempotent) {
+  Fixture fx(60);
+  std::vector<Value> inputs(60, kZero);
+  for (std::size_t i = 0; i < 30; ++i) inputs[i] = kOne;
+
+  auto run = [&](bool doubled) {
+    sim::SimConfig cfg;
+    cfg.n = 60;
+    cfg.seed = 97;
+    auto sim = std::make_unique<sim::Simulation>(cfg);
+    for (std::size_t i = 0; i < 60; ++i) {
+      auto host = std::make_unique<ApproverHost>(fx.config("apv"), inputs[i]);
+      if (doubled)
+        sim->add_process(std::make_unique<DeliverTwice>(std::move(host)));
+      else
+        sim->add_process(std::move(host));
+    }
+    sim->start();
+    sim->run();
+    return sim;
+  };
+  auto once = run(false);
+  auto twice = run(true);
+
+  for (sim::ProcessId i = 0; i < 60; ++i) {
+    auto& a = dynamic_cast<ApproverHost&>(once->process(i)).approver();
+    auto& b = dynamic_cast<ApproverHost&>(
+                  dynamic_cast<DeliverTwice&>(twice->process(i)).inner())
+                  .approver();
+    ASSERT_EQ(a.done(), b.done()) << i;
+    if (a.done()) EXPECT_EQ(a.output(), b.output()) << i;
+  }
+  // Identical sends: duplicates triggered no re-broadcasts, so the word
+  // complexity is untouched.
+  EXPECT_EQ(once->metrics().correct_words(), twice->metrics().correct_words());
+  EXPECT_EQ(once->metrics().messages_sent(), twice->metrics().messages_sent());
+  EXPECT_EQ(once->metrics().words_by_tag(), twice->metrics().words_by_tag());
+}
+
 TEST(Approver, RejectsBadConstruction) {
   Fixture fx(40);
   EXPECT_THROW(Approver(fx.config("x"), 7), PreconditionError);  // bad value

@@ -211,6 +211,61 @@ TEST(WhpCoin, NonMembersClaimingMembershipAreRejected) {
   }
 }
 
+/// Hands every delivered message to the wrapped process twice — the
+/// harshest duplicate pattern a lossy link can produce. Idempotent
+/// handlers send nothing extra, so the trace and word count match the
+/// single-delivery run exactly.
+class DeliverTwice final : public sim::Process {
+ public:
+  explicit DeliverTwice(std::unique_ptr<sim::Process> inner)
+      : inner_(std::move(inner)) {}
+  void on_start(sim::Context& ctx) override { inner_->on_start(ctx); }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    inner_->on_message(ctx, msg);
+    inner_->on_message(ctx, msg);
+  }
+  sim::Process& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<sim::Process> inner_;
+};
+
+TEST(WhpCoin, DuplicateDeliveryIsIdempotent) {
+  Fixture fx(60, 0.25, 0.02);
+  auto run = [&](bool doubled) {
+    sim::SimConfig cfg;
+    cfg.n = 60;
+    cfg.seed = 53;
+    auto sim = std::make_unique<sim::Simulation>(cfg);
+    auto factory = fx.factory(3);
+    for (crypto::ProcessId i = 0; i < 60; ++i) {
+      auto host = std::make_unique<CoinHost>(factory(i));
+      if (doubled)
+        sim->add_process(std::make_unique<DeliverTwice>(std::move(host)));
+      else
+        sim->add_process(std::move(host));
+    }
+    sim->start();
+    sim->run();
+    return sim;
+  };
+  auto once = run(false);
+  auto twice = run(true);
+
+  for (crypto::ProcessId i = 0; i < 60; ++i) {
+    const auto& a = dynamic_cast<CoinHost&>(once->process(i)).coin();
+    const auto& b =
+        dynamic_cast<CoinHost&>(
+            dynamic_cast<DeliverTwice&>(twice->process(i)).inner())
+            .coin();
+    ASSERT_EQ(a.done(), b.done()) << i;
+    if (a.done()) EXPECT_EQ(a.output(), b.output()) << i;
+  }
+  EXPECT_EQ(once->metrics().correct_words(), twice->metrics().correct_words());
+  EXPECT_EQ(once->metrics().messages_sent(), twice->metrics().messages_sent());
+  EXPECT_EQ(once->metrics().words_by_tag(), twice->metrics().words_by_tag());
+}
+
 TEST(WhpCoin, OutputBeforeDoneThrows) {
   Fixture fx(40, 0.25, 0.02);
   auto coin = fx.factory(0)(0);
