@@ -13,6 +13,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/coin_runner.h"
+#include "core/parallel.h"
 
 using namespace coincidence;
 
@@ -21,9 +22,12 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::size_t>(args.get_int("n", 36));
   const int runs = static_cast<int>(args.get_int("runs", 200));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  core::ThreadPool pool(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
 
   std::cout << "== E1: shared-coin (Algorithm 1) success rate, n=" << n
-            << ", " << runs << " flips per row ==\n\n";
+            << ", " << runs << " flips per row, " << pool.size()
+            << " threads ==\n\n";
 
   Table t({"epsilon", "f", "sched", "agree rate", "95% CI",
            "paper bound(x2)", "ones frac"});
@@ -32,9 +36,11 @@ int main(int argc, char** argv) {
     auto f = static_cast<std::size_t>((1.0 / 3.0 - eps) * static_cast<double>(n));
     double actual_eps = 1.0 / 3.0 - static_cast<double>(f) / static_cast<double>(n);
     for (bool hostile : {false, true}) {
-      std::size_t agree = 0, ones = 0, done = 0;
+      // Independent seeded flips: fan out on the pool, fold serially in
+      // input order — tallies match a serial loop bit for bit.
+      std::vector<core::CoinOptions> flips(static_cast<std::size_t>(runs));
       for (int run = 0; run < runs; ++run) {
-        core::CoinOptions o;
+        core::CoinOptions& o = flips[static_cast<std::size_t>(run)];
         o.kind = core::CoinKind::kShared;
         o.n = n;
         // Env epsilon drives f inside the runner; inject via epsilon.
@@ -43,7 +49,12 @@ int main(int argc, char** argv) {
         o.round = static_cast<std::uint64_t>(run);
         // Hostile-but-legal: starve a third of the senders' messages.
         if (hostile) o.delay_senders = n / 3;
-        core::CoinReport r = core::run_coin_trial(o);
+      }
+      std::vector<core::CoinReport> reports = core::parallel_map(
+          pool, flips.size(),
+          [&](std::size_t i) { return core::run_coin_trial(flips[i]); });
+      std::size_t agree = 0, ones = 0, done = 0;
+      for (const core::CoinReport& r : reports) {
         if (!r.all_returned) continue;
         ++done;
         if (r.agreed_bit) {

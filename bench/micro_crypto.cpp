@@ -7,6 +7,10 @@
 // share/reconstruct for the dealer-coin baseline.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "committee/sampler.h"
 #include "common/rng.h"
 #include "crypto/ddh_vrf.h"
@@ -58,8 +62,13 @@ void BM_BignumModExp(benchmark::State& state) {
 BENCHMARK(BM_BignumModExp)->Arg(128)->Arg(256)->Arg(1536)
     ->Unit(benchmark::kMicrosecond);
 
+PrimeGroup group_of_bits(std::size_t bits) {
+  return bits <= 256 ? PrimeGroup::generate(bits, 9)
+                     : PrimeGroup::rfc3526_1536();
+}
+
 void BM_DdhVrfEval(benchmark::State& state) {
-  DdhVrf vrf(PrimeGroup::generate(static_cast<std::size_t>(state.range(0)), 9));
+  DdhVrf vrf(group_of_bits(static_cast<std::size_t>(state.range(0))));
   Rng rng(4);
   VrfKeyPair kp = vrf.keygen(rng);
   std::uint64_t round = 0;
@@ -67,10 +76,11 @@ void BM_DdhVrfEval(benchmark::State& state) {
     benchmark::DoNotOptimize(vrf.eval(kp.sk, bytes_of_u64(round++)));
   }
 }
-BENCHMARK(BM_DdhVrfEval)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DdhVrfEval)->Arg(128)->Arg(256)->Arg(1536)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_DdhVrfVerify(benchmark::State& state) {
-  DdhVrf vrf(PrimeGroup::generate(static_cast<std::size_t>(state.range(0)), 9));
+  DdhVrf vrf(group_of_bits(static_cast<std::size_t>(state.range(0))));
   Rng rng(5);
   VrfKeyPair kp = vrf.keygen(rng);
   VrfOutput out = vrf.eval(kp.sk, bytes_of("round"));
@@ -78,7 +88,83 @@ void BM_DdhVrfVerify(benchmark::State& state) {
     benchmark::DoNotOptimize(vrf.verify(kp.pk, bytes_of("round"), out));
   }
 }
-BENCHMARK(BM_DdhVrfVerify)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DdhVrfVerify)->Arg(128)->Arg(256)->Arg(1536)
+    ->Unit(benchmark::kMicrosecond);
+
+// The Montgomery substrate behind the 1536-bit numbers above: one REDC
+// multiply/square, the reference divmod multiply for contrast, and the
+// two ladders DdhVrf::verify actually runs.
+void BM_MontMul(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  const MontgomeryCtx& ctx = group.mont();
+  Rng rng(21);
+  Bignum a = ctx.to_mont(group.hash_to_group(rng.next_bytes(32)));
+  Bignum b = ctx.to_mont(group.hash_to_group(rng.next_bytes(32)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mont_mul(a, b));
+  }
+}
+BENCHMARK(BM_MontMul);
+
+void BM_MontSqr(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  const MontgomeryCtx& ctx = group.mont();
+  Rng rng(22);
+  Bignum a = ctx.to_mont(group.hash_to_group(rng.next_bytes(32)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mont_sqr(a));
+  }
+}
+BENCHMARK(BM_MontSqr);
+
+void BM_MulModRef(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  Rng rng(23);
+  Bignum a = group.hash_to_group(rng.next_bytes(32));
+  Bignum b = group.hash_to_group(rng.next_bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bignum::mul_mod(a, b, group.p()));
+  }
+}
+BENCHMARK(BM_MulModRef);
+
+void BM_BignumModExpRef(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  Rng rng(3);
+  Bignum base = group.hash_to_group(rng.next_bytes(32));
+  Bignum exp = Bignum::from_bytes_be(rng.next_bytes(group.byte_len())) %
+               group.q();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bignum::mod_exp_ref(base, exp, group.p()));
+  }
+}
+BENCHMARK(BM_BignumModExpRef)->Unit(benchmark::kMicrosecond);
+
+void BM_DualExp(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  Rng rng(24);
+  Bignum a = group.hash_to_group(rng.next_bytes(32));
+  Bignum b = group.hash_to_group(rng.next_bytes(32));
+  Bignum ea = Bignum::from_bytes_be(rng.next_bytes(group.byte_len())) %
+              group.q();
+  Bignum eb = Bignum::from_bytes_be(rng.next_bytes(group.byte_len())) %
+              group.q();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.dual_exp(a, ea, b, eb));
+  }
+}
+BENCHMARK(BM_DualExp)->Unit(benchmark::kMicrosecond);
+
+void BM_ExpGComb(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  Rng rng(25);
+  Bignum e = Bignum::from_bytes_be(rng.next_bytes(group.byte_len())) %
+             group.q();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.exp_g(e));
+  }
+}
+BENCHMARK(BM_ExpGComb)->Unit(benchmark::kMicrosecond);
 
 void BM_FastVrfEval(benchmark::State& state) {
   auto registry = KeyRegistry::create_for(8, 11);
@@ -155,4 +241,40 @@ BENCHMARK(BM_ShamirReconstruct)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates two repo-level
+// convenience flags into google-benchmark's own before initialization.
+//   --quick            cap min_time so the full suite finishes in seconds
+//                      (the CI quick-bench smoke job)
+//   --bench_json=FILE  emit the JSON report to FILE (the committed
+//                      BENCH_crypto.json snapshot)
+int main(int argc, char** argv) {
+  std::vector<std::string> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc) + 2);
+  passthrough.emplace_back(argv[0]);
+  std::string json_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--bench_json=", 0) == 0) {
+      json_path = arg.substr(std::string("--bench_json=").size());
+    } else {
+      passthrough.push_back(std::move(arg));
+    }
+  }
+  if (quick) passthrough.emplace_back("--benchmark_min_time=0.02");
+  if (!json_path.empty()) {
+    passthrough.emplace_back("--benchmark_out=" + json_path);
+    passthrough.emplace_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(passthrough.size());
+  for (std::string& s : passthrough) args.push_back(s.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,6 +8,7 @@
 // so total cost is linear in K with zero marginal setup.
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/args.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -19,6 +20,11 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const auto n = static_cast<std::size_t>(args.get_int("n", 48));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15));
+  const std::string json_path = args.get("json", "");
+  bench::BenchJson json;
+  json.context("bench", "session_throughput");
+  json.context("n", static_cast<double>(n));
+  json.context("seed", static_cast<double>(seed));
 
   std::cout << "== E9: concurrent multi-slot sessions over one setup, n="
             << n << " ==\n\n";
@@ -50,6 +56,20 @@ int main(int argc, char** argv) {
           slot.correct_words;
     }
     std::size_t stalled = slots - decided;
+    bench::BenchJson::Row& row =
+        json.row("slots/" + std::to_string(slots));
+    bench::BenchJson::field(row, "slots", static_cast<double>(slots));
+    bench::BenchJson::field(row, "decided", static_cast<double>(decided));
+    bench::BenchJson::field(row, "agreed", static_cast<double>(agreed));
+    bench::BenchJson::field(row, "total_words",
+                            static_cast<double>(r.correct_words));
+    bench::BenchJson::field(
+        row, "words_per_decided_slot",
+        static_cast<double>(decided ? decided_words / decided : 0));
+    bench::BenchJson::field(row, "rounds_max",
+                            static_cast<double>(rounds_max));
+    bench::BenchJson::field(row, "causal_duration",
+                            static_cast<double>(r.duration));
     t.add_row({std::to_string(slots),
                std::to_string(decided) + "/" + std::to_string(slots),
                std::to_string(agreed) + "/" + std::to_string(slots),
@@ -70,5 +90,12 @@ int main(int argc, char** argv) {
                "early by the harness — pay their\nfull post-decision grace "
                "window; that is the cost of the grace rounds, not of "
                "concurrency.\n";
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/coin_runner.h"
+#include "core/parallel.h"
 
 using namespace coincidence;
 
@@ -21,9 +22,11 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const int runs = static_cast<int>(args.get_int("runs", 120));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
+  core::ThreadPool pool(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
 
   std::cout << "== E2: WHP coin (Algorithm 2), " << runs
-            << " flips per row ==\n\n";
+            << " flips per row, " << pool.size() << " threads ==\n\n";
 
   Table t({"n", "d", "W", "silent f", "returned", "agree|returned",
            "95% CI", "paper bound(x2)"});
@@ -42,16 +45,21 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     committee::Params params =
         committee::Params::derive(row.n, 0.25, row.d, /*strict=*/false);
-    std::size_t returned = 0, agree = 0;
+    std::vector<core::CoinOptions> flips(static_cast<std::size_t>(runs));
     for (int run = 0; run < runs; ++run) {
-      core::CoinOptions o;
+      core::CoinOptions& o = flips[static_cast<std::size_t>(run)];
       o.kind = core::CoinKind::kWhp;
       o.n = row.n;
       o.d = row.d;
       o.seed = seed * 999983 + 131 * run + row.n;
       o.round = static_cast<std::uint64_t>(run);
       o.silent = row.silent;
-      core::CoinReport r = core::run_coin_trial(o);
+    }
+    std::vector<core::CoinReport> reports = core::parallel_map(
+        pool, flips.size(),
+        [&](std::size_t i) { return core::run_coin_trial(flips[i]); });
+    std::size_t returned = 0, agree = 0;
+    for (const core::CoinReport& r : reports) {
       if (!r.all_returned) continue;
       ++returned;
       if (r.agreed_bit) ++agree;

@@ -17,6 +17,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/coin_runner.h"
+#include "core/parallel.h"
 #include "core/runner.h"
 
 using namespace coincidence;
@@ -25,29 +26,42 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+  core::ThreadPool pool(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
 
   std::cout << "== E4: word-complexity scaling, ours vs O(n^2) (trials="
-            << trials << ") ==\n\n";
+            << trials << ", threads=" << pool.size() << ") ==\n\n";
 
   // --- part 1: the coins alone (Algorithm 1 vs Algorithm 2) -------------
   Table tc({"n", "shared-coin words", "whp-coin words", "ratio"});
   std::vector<double> cxs, shared_ys, whp_ys;
   for (std::size_t n : {48, 96, 160, 256, 384}) {
-    double shared_words = 0, whp_words = 0;
-    int shared_c = 0, whp_c = 0;
+    // Even indices are shared-coin flips, odd are whp — one flat fan-out
+    // per n, folded in input order so tallies match the serial loop.
+    std::vector<core::CoinOptions> flips(2 * static_cast<std::size_t>(trials));
     for (int trial = 0; trial < trials; ++trial) {
       core::CoinOptions o;
       o.n = n;
       o.seed = seed + 31 * trial + n;
       o.round = static_cast<std::uint64_t>(trial);
       o.kind = core::CoinKind::kShared;
-      core::CoinReport rs = core::run_coin_trial(o);
+      flips[2 * static_cast<std::size_t>(trial)] = o;
+      o.kind = core::CoinKind::kWhp;
+      flips[2 * static_cast<std::size_t>(trial) + 1] = o;
+    }
+    std::vector<core::CoinReport> reports = core::parallel_map(
+        pool, flips.size(),
+        [&](std::size_t i) { return core::run_coin_trial(flips[i]); });
+    double shared_words = 0, whp_words = 0;
+    int shared_c = 0, whp_c = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const core::CoinReport& rs = reports[2 * static_cast<std::size_t>(trial)];
       if (rs.all_returned) {
         shared_words += static_cast<double>(rs.correct_words);
         ++shared_c;
       }
-      o.kind = core::CoinKind::kWhp;
-      core::CoinReport rw = core::run_coin_trial(o);
+      const core::CoinReport& rw =
+          reports[2 * static_cast<std::size_t>(trial) + 1];
       if (rw.all_returned) {
         whp_words += static_cast<double>(rw.correct_words);
         ++whp_c;
@@ -83,25 +97,36 @@ int main(int argc, char** argv) {
     // few extra seeds there so the row reflects successful decisions.
     int attempts = n >= 512 ? trials + 4 : trials;
     int wanted = trials;
-    for (int trial = 0; trial < attempts && (ours_c < wanted || mmr_c < wanted);
-         ++trial) {
+    // Speculatively run every attempt for both protocols in parallel,
+    // then replay the serial retry-gating over the reports in trial
+    // order: the tallies consume exactly the runs the serial loop would
+    // have executed (the spare speculative runs are simply discarded).
+    std::vector<core::RunOptions> opts(2 * static_cast<std::size_t>(attempts));
+    for (int trial = 0; trial < attempts; ++trial) {
       core::RunOptions o;
       o.n = n;
       o.seed = seed + 7 * trial + n;
       o.inputs.assign(n, ba::kZero);
       for (std::size_t i = 0; i < n / 2; ++i) o.inputs[i] = ba::kOne;
-
       o.protocol = core::Protocol::kBaWhp;
+      opts[2 * static_cast<std::size_t>(trial)] = o;
+      o.protocol = core::Protocol::kMmrSharedCoin;
+      opts[2 * static_cast<std::size_t>(trial) + 1] = o;
+    }
+    std::vector<core::RunReport> reports =
+        core::run_agreements_parallel(pool, opts);
+    for (int trial = 0; trial < attempts && (ours_c < wanted || mmr_c < wanted);
+         ++trial) {
       if (ours_c < wanted) {
-        core::RunReport r1 = core::run_agreement(o);
+        const core::RunReport& r1 = reports[2 * static_cast<std::size_t>(trial)];
         if (r1.all_correct_decided) {
           ours += static_cast<double>(r1.correct_words);
           ++ours_c;
         }
       }
       if (mmr_c < wanted) {
-        o.protocol = core::Protocol::kMmrSharedCoin;
-        core::RunReport r2 = core::run_agreement(o);
+        const core::RunReport& r2 =
+            reports[2 * static_cast<std::size_t>(trial) + 1];
         if (r2.all_correct_decided) {
           mmr += static_cast<double>(r2.correct_words);
           ++mmr_c;

@@ -53,9 +53,33 @@ CachingSampler::CachingSampler(
     std::shared_ptr<const crypto::KeyRegistry> registry, double lambda_over_n)
     : Sampler(std::move(vrf), std::move(registry), lambda_over_n) {}
 
+CachingSampler::CacheKey CachingSampler::make_key(ProcessId i,
+                                                  const std::string& seed,
+                                                  BytesView proof) {
+  // FNV-1a over (id, seed, proof) — precomputed once so the table probe
+  // costs one integer compare before the final equality check.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const unsigned char* data, std::size_t len) {
+    for (std::size_t b = 0; b < len; ++b) {
+      h ^= data[b];
+      h *= 1099511628211ull;
+    }
+  };
+  std::uint64_t id64 = static_cast<std::uint64_t>(i);
+  mix(reinterpret_cast<const unsigned char*>(&id64), sizeof(id64));
+  mix(reinterpret_cast<const unsigned char*>(seed.data()), seed.size());
+  mix(reinterpret_cast<const unsigned char*>(proof.data()), proof.size());
+  CacheKey key;
+  key.hash = h;
+  key.id = i;
+  key.seed = seed;
+  key.proof.assign(proof.begin(), proof.end());
+  return key;
+}
+
 Sampler::Election CachingSampler::sample(ProcessId i,
                                          const std::string& seed) const {
-  auto key = std::make_pair(i, seed);
+  CacheKey key = make_key(i, seed, {});
   auto it = sample_cache_.find(key);
   if (it != sample_cache_.end()) return it->second;
   Election e = Sampler::sample(i, seed);
@@ -65,7 +89,7 @@ Sampler::Election CachingSampler::sample(ProcessId i,
 
 bool CachingSampler::committee_val(const std::string& seed, ProcessId i,
                                    BytesView proof) const {
-  auto key = std::make_tuple(seed, i, Bytes(proof.begin(), proof.end()));
+  CacheKey key = make_key(i, seed, proof);
   auto it = val_cache_.find(key);
   if (it != val_cache_.end()) return it->second;
   bool ok = Sampler::committee_val(seed, i, proof);

@@ -9,10 +9,10 @@
 // are unforgeable (VRF uniqueness).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "common/bytes.h"
@@ -74,9 +74,32 @@ class CachingSampler final : public Sampler {
   std::size_t val_cache_size() const { return val_cache_.size(); }
 
  private:
-  mutable std::map<std::pair<ProcessId, std::string>, Election> sample_cache_;
+  // Cache keys carry their FNV-1a hash, computed once at lookup: the
+  // unordered_map never re-walks the seed/proof bytes the way the old
+  // std::map did on every tree-node comparison (O(log n) string
+  // compares per hit → one hash + one final equality check).
+  struct CacheKey {
+    std::uint64_t hash = 0;
+    ProcessId id = 0;
+    std::string seed;
+    Bytes proof;  // empty for sample-cache keys
+
+    bool operator==(const CacheKey& o) const {
+      return hash == o.hash && id == o.id && seed == o.seed &&
+             proof == o.proof;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+  static CacheKey make_key(ProcessId i, const std::string& seed,
+                           BytesView proof);
+
+  mutable std::unordered_map<CacheKey, Election, CacheKeyHash> sample_cache_;
   // key: (seed, id, proof bytes) -> verdict.
-  mutable std::map<std::tuple<std::string, ProcessId, Bytes>, bool> val_cache_;
+  mutable std::unordered_map<CacheKey, bool, CacheKeyHash> val_cache_;
 };
 
 }  // namespace coincidence::committee

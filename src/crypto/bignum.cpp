@@ -309,6 +309,18 @@ Bignum Bignum::mul_mod(const Bignum& a, const Bignum& b, const Bignum& m) {
 
 Bignum Bignum::mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m) {
   COIN_REQUIRE(!m.is_zero(), "mod_exp: zero modulus");
+  // The Montgomery context costs one divmod (R² mod m) to set up; it wins
+  // whenever the ladder is long enough to amortize that, which at the
+  // multi-limb sizes the VRF uses means any exponent past a machine word.
+  if (m.is_odd() && m.limbs_.size() >= 2 && exp.bit_length() > 64) {
+    return MontgomeryCtx(m).mod_exp(base, exp);
+  }
+  return mod_exp_ref(base, exp, m);
+}
+
+Bignum Bignum::mod_exp_ref(const Bignum& base, const Bignum& exp,
+                           const Bignum& m) {
+  COIN_REQUIRE(!m.is_zero(), "mod_exp: zero modulus");
   if (m == Bignum(1)) return Bignum();
 
   const std::size_t nbits = exp.bit_length();
@@ -348,6 +360,30 @@ Bignum Bignum::mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m) {
     if (chunk != 0) result = mul_mod(result, table[chunk], m);
   }
   return result;
+}
+
+int Bignum::jacobi(const Bignum& a, const Bignum& n) {
+  COIN_REQUIRE(n.is_odd() && !n.is_zero(), "jacobi: modulus must be odd > 0");
+  Bignum x = a % n;
+  Bignum y = n;
+  int result = 1;
+  while (!x.is_zero()) {
+    // Pull out the even part of x; each factor of 2 flips the sign when
+    // y ≡ ±3 (mod 8).
+    std::size_t twos = 0;
+    while (!x.bit(twos)) ++twos;
+    if (twos != 0) {
+      x = x >> twos;
+      std::uint64_t y_mod8 = y.low_u64() & 7;
+      if ((twos & 1) && (y_mod8 == 3 || y_mod8 == 5)) result = -result;
+    }
+    // Quadratic reciprocity for the now-odd x.
+    if ((x.low_u64() & 3) == 3 && (y.low_u64() & 3) == 3) result = -result;
+    Bignum r = y % x;
+    y = x;
+    x = r;
+  }
+  return y == Bignum(1) ? result : 0;
 }
 
 Bignum Bignum::gcd(Bignum a, Bignum b) {
@@ -394,6 +430,372 @@ Bignum Bignum::mod_inv(const Bignum& a, const Bignum& m) {
   Bignum inv = t0 % m;
   if (t0_neg && !inv.is_zero()) inv = m - inv;
   return inv;
+}
+
+// ---------------------------------------------------------------------------
+// MontgomeryCtx
+// ---------------------------------------------------------------------------
+
+MontgomeryCtx::MontgomeryCtx(const Bignum& m) : m_(m) {
+  COIN_REQUIRE(m.is_odd() && m > Bignum(1),
+               "MontgomeryCtx: modulus must be odd and > 1");
+  k_ = m.limbs_.size();
+  mod_ = m.limbs_;
+
+  // n0inv = -m⁻¹ mod 2⁶⁴ by Newton/Hensel lifting: x ← x·(2 − m₀·x)
+  // doubles the number of correct low bits each step; 6 steps cover 64.
+  u64 m0 = mod_[0];
+  u64 x = m0;  // correct to 3 bits (m0 odd)
+  for (int i = 0; i < 6; ++i) x *= 2 - m0 * x;
+  n0inv_ = ~x + 1;  // -x mod 2⁶⁴
+
+  // R mod m and R² mod m via the division path, once per context.
+  Bignum r_mod_m = (Bignum(1) << (64 * k_)) % m_;
+  Bignum r2_mod_m = (r_mod_m * r_mod_m) % m_;
+  one_ = r_mod_m.limbs_;
+  one_.resize(k_, 0);
+  r2_ = r2_mod_m.limbs_;
+  r2_.resize(k_, 0);
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::to_limbs(const Bignum& a) const {
+  Limbs out = (a >= m_ ? a % m_ : a).limbs_;
+  out.resize(k_, 0);
+  return out;
+}
+
+Bignum MontgomeryCtx::to_bignum(const Limbs& a) const {
+  Bignum out;
+  out.limbs_ = a;
+  out.normalize();
+  return out;
+}
+
+void MontgomeryCtx::reduce_once(Limbs& x, u64 overflow) const {
+  // x (k limbs, plus `overflow` as limb k) is < 2m; subtract m if needed.
+  bool ge = overflow != 0;
+  if (!ge) {
+    ge = true;  // treat equality as >= so the result is always < m
+    for (std::size_t i = k_; i-- > 0;) {
+      if (x[i] != mod_[i]) {
+        ge = x[i] > mod_[i];
+        break;
+      }
+    }
+  }
+  if (!ge) return;
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    u128 diff = static_cast<u128>(x[i]) - mod_[i] - borrow;
+    x[i] = static_cast<u64>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+}
+
+void MontgomeryCtx::mul_redc(const Limbs& a, const Limbs& b, Limbs& out,
+                             Limbs& t) const {
+  // CIOS (coarsely integrated operand scanning): interleave the schoolbook
+  // multiply with the reduction so the accumulator never exceeds k+2 limbs.
+  const std::size_t k = k_;
+  std::fill(t.begin(), t.end(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    t[k + 1] = static_cast<u64>(cur >> 64);
+
+    const u64 mfac = t[0] * n0inv_;
+    u128 acc = static_cast<u128>(mfac) * mod_[0] + t[0];
+    carry = static_cast<u64>(acc >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      acc = static_cast<u128>(mfac) * mod_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    acc = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(acc);
+    t[k] = t[k + 1] + static_cast<u64>(acc >> 64);
+  }
+  std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k),
+            out.begin());
+  reduce_once(out, t[k]);
+}
+
+void MontgomeryCtx::sqr_redc(const Limbs& a, Limbs& out, Limbs& t) const {
+  // SOS squaring: cross products once (then doubled), diagonal squares,
+  // then a separate k-pass REDC over the 2k-limb product. Carries out of
+  // each row land exactly where the next row's final add lands, so a
+  // single rolling `pending` limb replaces per-row propagation loops.
+  const std::size_t k = k_;
+  const u64* ap = a.data();
+  const u64* mp = mod_.data();
+  u64* tp = t.data();
+  std::fill(t.begin(), t.end(), 0);
+  // Cross products a[i]·a[j], i < j. Row i's final carry belongs at limb
+  // i+k; row i+1 also ends at limb i+k+1, so `pending` rides along.
+  u64 pending = 0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    u64 carry = 0;
+    const u64 ai = ap[i];
+    for (std::size_t j = i + 1; j < k; ++j) {
+      u128 cur = static_cast<u128>(ai) * ap[j] + tp[i + j] + carry;
+      tp[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(tp[i + k]) + carry + pending;
+    tp[i + k] = static_cast<u64>(cur);
+    pending = static_cast<u64>(cur >> 64);
+  }
+  tp[2 * k - 1] += pending;  // a² < 2^(128k), so this cannot overflow
+  // Double the cross products: shift t left one bit across 2k limbs.
+  u64 top = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    u64 next_top = tp[i] >> 63;
+    tp[i] = (tp[i] << 1) | top;
+    top = next_top;
+  }
+  t[2 * k] = top;
+  // Add the diagonal squares a[i]² at bit offset 128·i.
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u128 sq = static_cast<u128>(ap[i]) * ap[i];
+    u128 lo = static_cast<u128>(tp[2 * i]) + static_cast<u64>(sq) + carry;
+    tp[2 * i] = static_cast<u64>(lo);
+    u128 hi = static_cast<u128>(tp[2 * i + 1]) + static_cast<u64>(sq >> 64) +
+              static_cast<u64>(lo >> 64);
+    tp[2 * i + 1] = static_cast<u64>(hi);
+    carry = static_cast<u64>(hi >> 64);
+  }
+  t[2 * k] += carry;
+  // REDC: clear the low k limbs one at a time, rolling the row-end carry.
+  pending = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 mfac = tp[i] * n0inv_;
+    u64 c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(mfac) * mp[j] + tp[i + j] + c;
+      tp[i + j] = static_cast<u64>(cur);
+      c = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(tp[i + k]) + c + pending;
+    tp[i + k] = static_cast<u64>(cur);
+    pending = static_cast<u64>(cur >> 64);
+  }
+  std::copy(t.begin() + static_cast<std::ptrdiff_t>(k),
+            t.begin() + static_cast<std::ptrdiff_t>(2 * k), out.begin());
+  reduce_once(out, t[2 * k] + pending);
+}
+
+Bignum MontgomeryCtx::to_mont(const Bignum& a) const {
+  Limbs al = to_limbs(a);
+  Limbs out(k_, 0), t(k_ + 2, 0);
+  mul_redc(al, r2_, out, t);
+  return to_bignum(out);
+}
+
+Bignum MontgomeryCtx::from_mont(const Bignum& a) const {
+  Limbs al = to_limbs(a);
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs out(k_, 0), t(k_ + 2, 0);
+  mul_redc(al, one, out, t);
+  return to_bignum(out);
+}
+
+Bignum MontgomeryCtx::mont_mul(const Bignum& a, const Bignum& b) const {
+  Limbs al = to_limbs(a), bl = to_limbs(b);
+  Limbs out(k_, 0), t(k_ + 2, 0);
+  mul_redc(al, bl, out, t);
+  return to_bignum(out);
+}
+
+Bignum MontgomeryCtx::mont_sqr(const Bignum& a) const {
+  Limbs al = to_limbs(a);
+  Limbs out(k_, 0), t(2 * k_ + 1, 0);
+  sqr_redc(al, out, t);
+  return to_bignum(out);
+}
+
+Bignum MontgomeryCtx::mod_exp(const Bignum& base, const Bignum& exp) const {
+  const std::size_t nbits = exp.bit_length();
+  if (nbits == 0) return Bignum(1) % m_;  // 0^0 = 1 convention
+
+  Limbs mt(k_ + 2, 0);          // mul scratch
+  Limbs st(2 * k_ + 1, 0);      // sqr scratch
+  Limbs base_m(k_, 0);
+  mul_redc(to_limbs(base), r2_, base_m, mt);
+
+  // 4-bit fixed window: 16-entry table, one multiply per window.
+  constexpr std::size_t kWindow = 4;
+  Limbs table[1u << kWindow];
+  table[0] = one_;
+  table[1] = base_m;
+  for (std::size_t i = 2; i < (1u << kWindow); ++i) {
+    table[i].assign(k_, 0);
+    mul_redc(table[i - 1], base_m, table[i], mt);
+  }
+
+  Limbs result = one_;
+  Limbs tmp(k_, 0);
+  std::size_t windows = (nbits + kWindow - 1) / kWindow;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) {
+      sqr_redc(result, tmp, st);
+      result.swap(tmp);
+    }
+    std::size_t chunk = 0;
+    for (std::size_t s = kWindow; s-- > 0;) {
+      chunk <<= 1;
+      std::size_t bit_index = w * kWindow + s;
+      if (bit_index < nbits && exp.bit(bit_index)) chunk |= 1;
+    }
+    if (chunk != 0) {
+      mul_redc(result, table[chunk], tmp, mt);
+      result.swap(tmp);
+    }
+  }
+
+  // Leave Montgomery form.
+  Limbs one(k_, 0);
+  one[0] = 1;
+  mul_redc(result, one, tmp, mt);
+  return to_bignum(tmp);
+}
+
+Bignum MontgomeryCtx::dual_exp(const Bignum& a, const Bignum& ea,
+                               const Bignum& b, const Bignum& eb) const {
+  // Straus/Shamir: one shared-squaring ladder over both exponents with
+  // 3-bit windows each, indexing a 64-entry table of aⁱ·bʲ (i, j ≤ 7).
+  // Versus two independent ladders this halves the squarings — the
+  // dominant cost of g^s·pk^c / h^s·Γ^c in DdhVrf::verify — and the wide
+  // window amortizes the table build across ~nbits/3 joint multiplies.
+  const std::size_t nbits = std::max(ea.bit_length(), eb.bit_length());
+  if (nbits == 0) return Bignum(1) % m_;
+
+  constexpr std::size_t kWindow = 3;
+  Limbs mt(k_ + 2, 0);
+  Limbs st(2 * k_ + 1, 0);
+  Limbs am(k_, 0), bm(k_, 0);
+  mul_redc(to_limbs(a), r2_, am, mt);
+  mul_redc(to_limbs(b), r2_, bm, mt);
+
+  // table[(i << kWindow) | j] = aⁱ · bʲ in Montgomery form.
+  constexpr std::size_t kSide = 1u << kWindow;
+  Limbs table[kSide * kSide];
+  table[0] = one_;
+  table[1] = bm;
+  table[kSide] = am;
+  for (std::size_t i = 2; i < kSide * kSide; ++i) {
+    if (i == kSide) continue;
+    table[i].assign(k_, 0);
+    if (i >= kSide) {
+      mul_redc(table[i - kSide], am, table[i], mt);  // bump the a-power
+    } else {
+      mul_redc(table[i - 1], bm, table[i], mt);  // bump the b-power
+    }
+  }
+
+  auto window_of = [](const Bignum& e, std::size_t lo) {
+    std::size_t v = 0;
+    for (std::size_t s = kWindow; s-- > 0;) v = (v << 1) | (e.bit(lo + s) ? 1u : 0u);
+    return v;
+  };
+
+  Limbs result = one_;
+  Limbs tmp(k_, 0);
+  std::size_t windows = (nbits + kWindow - 1) / kWindow;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) {
+      sqr_redc(result, tmp, st);
+      result.swap(tmp);
+    }
+    const std::size_t lo = kWindow * w;
+    std::size_t idx = (window_of(ea, lo) << kWindow) | window_of(eb, lo);
+    if (idx != 0) {
+      mul_redc(result, table[idx], tmp, mt);
+      result.swap(tmp);
+    }
+  }
+
+  Limbs one(k_, 0);
+  one[0] = 1;
+  mul_redc(result, one, tmp, mt);
+  return to_bignum(tmp);
+}
+
+// ---------------------------------------------------------------------------
+// CombTable
+// ---------------------------------------------------------------------------
+
+CombTable::CombTable(std::shared_ptr<const MontgomeryCtx> ctx,
+                     const Bignum& base, std::size_t max_exp_bits)
+    : ctx_(std::move(ctx)), base_(base) {
+  COIN_REQUIRE(ctx_ != nullptr, "CombTable: null context");
+  max_bits_ = std::max<std::size_t>(max_exp_bits, kTeeth);
+  span_ = (max_bits_ + kTeeth - 1) / kTeeth;
+
+  const std::size_t k = ctx_->k_;
+  std::vector<std::uint64_t> mt(k + 2, 0), st(2 * k + 1, 0);
+
+  // tooth[i] = base^(2^(i·span)) in Montgomery form.
+  std::vector<std::vector<std::uint64_t>> tooth(kTeeth);
+  tooth[0].assign(k, 0);
+  ctx_->mul_redc(ctx_->to_limbs(base_), ctx_->r2_, tooth[0], mt);
+  std::vector<std::uint64_t> tmp(k, 0);
+  for (std::size_t i = 1; i < kTeeth; ++i) {
+    tooth[i] = tooth[i - 1];
+    for (std::size_t s = 0; s < span_; ++s) {
+      ctx_->sqr_redc(tooth[i], tmp, st);
+      tooth[i].swap(tmp);
+    }
+  }
+
+  table_.resize(std::size_t{1} << kTeeth);
+  table_[0] = ctx_->one_;
+  for (std::size_t s = 1; s < table_.size(); ++s) {
+    // Lowest set bit extends the previously-built entry by one tooth.
+    std::size_t low = s & (~s + 1);
+    std::size_t low_idx = 0;
+    while ((std::size_t{1} << low_idx) != low) ++low_idx;
+    if (s == low) {
+      table_[s] = tooth[low_idx];
+    } else {
+      table_[s].assign(k, 0);
+      ctx_->mul_redc(table_[s - low], tooth[low_idx], table_[s], mt);
+    }
+  }
+}
+
+Bignum CombTable::exp(const Bignum& e) const {
+  if (e.bit_length() > max_bits_) return ctx_->mod_exp(base_, e);
+  if (e.is_zero()) return Bignum(1) % ctx_->m_;
+
+  const std::size_t k = ctx_->k_;
+  std::vector<std::uint64_t> mt(k + 2, 0), st(2 * k + 1, 0);
+  std::vector<std::uint64_t> result = ctx_->one_;
+  std::vector<std::uint64_t> tmp(k, 0);
+  for (std::size_t col = span_; col-- > 0;) {
+    ctx_->sqr_redc(result, tmp, st);
+    result.swap(tmp);
+    std::size_t idx = 0;
+    for (std::size_t tooth = 0; tooth < kTeeth; ++tooth) {
+      if (e.bit(tooth * span_ + col)) idx |= std::size_t{1} << tooth;
+    }
+    if (idx != 0) {
+      ctx_->mul_redc(result, table_[idx], tmp, mt);
+      result.swap(tmp);
+    }
+  }
+  std::vector<std::uint64_t> one(k, 0);
+  one[0] = 1;
+  ctx_->mul_redc(result, one, tmp, mt);
+  return ctx_->to_bignum(tmp);
 }
 
 }  // namespace coincidence::crypto

@@ -59,6 +59,12 @@ void HmacDrbg::update(BytesView provided) {
 
 Bytes HmacDrbg::generate(std::size_t n) {
   Bytes out;
+  generate_into(n, out);
+  return out;
+}
+
+void HmacDrbg::generate_into(std::size_t n, Bytes& out) {
+  out.clear();
   out.reserve(n);
   while (out.size() < n) {
     Digest v = hmac_sha256(key_, value_);
@@ -67,7 +73,6 @@ Bytes HmacDrbg::generate(std::size_t n) {
     out.insert(out.end(), value_.begin(), value_.begin() + take);
   }
   update({});
-  return out;
 }
 
 std::uint64_t HmacDrbg::next_u64() {

@@ -26,6 +26,12 @@ class HmacDrbg {
   /// Next `n` pseudorandom bytes.
   Bytes generate(std::size_t n);
 
+  /// Same stream as generate(), but fills `out` in place (resized to `n`)
+  /// so a caller looping draws — hash_to_group's retry loop, committee
+  /// threshold expansion — reuses one allocation instead of minting a
+  /// fresh Bytes per call.
+  void generate_into(std::size_t n, Bytes& out);
+
   /// Next uniform u64 (first 8 bytes of a generate(8) call).
   std::uint64_t next_u64();
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/runner.h"
 
 namespace coincidence::core {
@@ -64,13 +65,17 @@ std::vector<AdversaryKind> adversary_cases() {
 ///  - validity: with unanimous input v, any decision equals v.
 /// Returns whether all correct processes decided (liveness, reported
 /// but never asserted).
-bool check_safety(const RunOptions& options, int unanimous_input,
-                  const std::string& label) {
-  RunReport report = run_agreement(options);
+bool check_safety_report(const RunReport& report, int unanimous_input,
+                         const std::string& label) {
   EXPECT_TRUE(report.agreement) << label;
   if (report.decision)
     EXPECT_EQ(*report.decision, unanimous_input) << label;
   return report.all_correct_decided;
+}
+
+bool check_safety(const RunOptions& options, int unanimous_input,
+                  const std::string& label) {
+  return check_safety_report(run_agreement(options), unanimous_input, label);
 }
 
 std::string case_label(Protocol proto, AdversaryKind adv,
@@ -85,7 +90,13 @@ std::string case_label(Protocol proto, AdversaryKind adv,
 // safety must hold on every cell, including the ones where nothing can
 // terminate.
 TEST(ChaosSafety, BaselineProtocolsSweepNeverDisagree) {
-  int live = 0, total = 0;
+  // The 300 cells are independent seeded runs: collect the reports on
+  // the parallel driver, then assert serially on this thread (GoogleTest
+  // expectations are not thread-safe). Reports come back in input order,
+  // so labels and tallies line up with the serial sweep exactly.
+  std::vector<RunOptions> grid;
+  std::vector<std::string> labels;
+  std::vector<int> inputs;
   for (Protocol proto : {Protocol::kBracha, Protocol::kBenOr}) {
     for (AdversaryKind adv : adversary_cases()) {
       for (const LinkCase& link : link_cases()) {
@@ -94,7 +105,7 @@ TEST(ChaosSafety, BaselineProtocolsSweepNeverDisagree) {
           options.protocol = proto;
           options.n = proto == Protocol::kBenOr ? 6 : 4;
           const std::uint64_t seed =
-              0xc0ffee + static_cast<std::uint64_t>(total);
+              0xc0ffee + static_cast<std::uint64_t>(grid.size());
           options.seed = seed;
           options.adversary = adv;
           options.network = NetworkProfile::uniform(link.plan);
@@ -104,18 +115,23 @@ TEST(ChaosSafety, BaselineProtocolsSweepNeverDisagree) {
           options.crash_recover = fault.crash_recover;
           options.recover_after = 200;
           options.max_rounds = 40;
-          const int input = total % 2;
+          const int input = static_cast<int>(grid.size() % 2);
           options.inputs.assign(options.n,
                                 input ? ba::kOne : ba::kZero);
-          ++total;
-          if (check_safety(options, input,
-                           case_label(proto, adv, link.name, fault.name,
-                                      seed)))
-            ++live;
+          grid.push_back(options);
+          labels.push_back(
+              case_label(proto, adv, link.name, fault.name, seed));
+          inputs.push_back(input);
         }
       }
     }
   }
+  ThreadPool pool;
+  std::vector<RunReport> reports = run_agreements_parallel(pool, grid);
+  int live = 0;
+  const int total = static_cast<int>(reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    if (check_safety_report(reports[i], inputs[i], labels[i])) ++live;
   ASSERT_EQ(total, 300);
   // Liveness degrades under chaos but must not vanish: the lossless
   // column alone is 50 cells and should essentially always decide.

@@ -1,0 +1,227 @@
+// Randomized cross-checks of the Montgomery fast path against the
+// division-based reference arithmetic: mont_mul vs mul_mod, windowed
+// Montgomery mod_exp vs mod_exp_ref, Straus/Shamir dual_exp vs the
+// product of two reference ladders, the fixed-base comb vs mod_exp_ref,
+// and Jacobi vs the Euler criterion — over the RFC 3526 modulus and
+// freshly generated small safe primes, including the edge operands
+// (0, 1, m−1, values ≥ m) where reduction bugs hide.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/prime.h"
+
+namespace coincidence::crypto {
+namespace {
+
+Bignum random_below(Rng& rng, const Bignum& m) {
+  return Bignum::from_bytes_be(rng.next_bytes(m.to_bytes_be().size() + 8)) % m;
+}
+
+// The moduli under test: the production 1536-bit prime plus small safe
+// primes of odd limb counts so the REDC loops see k = 2, 3, 4 word
+// shapes, not just the 24-limb production shape.
+const std::vector<Bignum>& test_moduli() {
+  static const std::vector<Bignum> ms = [] {
+    std::vector<Bignum> v;
+    v.push_back(rfc3526_prime_1536());
+    v.push_back(generate_safe_prime(80, 11).p);
+    v.push_back(generate_safe_prime(130, 12).p);
+    v.push_back(generate_safe_prime(200, 13).p);
+    return v;
+  }();
+  return ms;
+}
+
+TEST(Montgomery, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(MontgomeryCtx(Bignum(0)), PreconditionError);
+  EXPECT_THROW(MontgomeryCtx(Bignum(1)), PreconditionError);
+  EXPECT_THROW(MontgomeryCtx(Bignum(1) << 64), PreconditionError);
+}
+
+TEST(Montgomery, RoundTripAndIdentity) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(401);
+    for (int i = 0; i < 50; ++i) {
+      Bignum a = random_below(rng, m);
+      EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+    }
+    // Montgomery form of 1 behaves as the multiplicative identity.
+    Bignum one_m = ctx.to_mont(Bignum(1));
+    Bignum x = ctx.to_mont(random_below(rng, m));
+    EXPECT_EQ(ctx.mont_mul(x, one_m), x);
+  }
+}
+
+TEST(Montgomery, MontMulMatchesMulMod) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(402);
+    for (int i = 0; i < 100; ++i) {
+      Bignum a = random_below(rng, m);
+      Bignum b = random_below(rng, m);
+      Bignum am = ctx.to_mont(a), bm = ctx.to_mont(b);
+      EXPECT_EQ(ctx.from_mont(ctx.mont_mul(am, bm)), Bignum::mul_mod(a, b, m));
+      EXPECT_EQ(ctx.from_mont(ctx.mont_sqr(am)), Bignum::mul_mod(a, a, m));
+    }
+  }
+}
+
+TEST(Montgomery, MontMulEdgeOperands) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Bignum m1 = m - Bignum(1);
+    const Bignum cases[] = {Bignum(0), Bignum(1), Bignum(2), m1};
+    for (const Bignum& a : cases) {
+      for (const Bignum& b : cases) {
+        Bignum got =
+            ctx.from_mont(ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b)));
+        EXPECT_EQ(got, Bignum::mul_mod(a, b, m));
+      }
+      EXPECT_EQ(ctx.from_mont(ctx.mont_sqr(ctx.to_mont(a))),
+                Bignum::mul_mod(a, a, m));
+    }
+    // (m−1)² = 1 mod m — the largest reduced operands, worst-case carries.
+    EXPECT_EQ(ctx.from_mont(ctx.mont_sqr(ctx.to_mont(m1))), Bignum(1));
+  }
+}
+
+TEST(Montgomery, ModExpMatchesReference) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(403);
+    for (int i = 0; i < 25; ++i) {
+      Bignum base = random_below(rng, m);
+      Bignum exp = random_below(rng, m);
+      EXPECT_EQ(ctx.mod_exp(base, exp), Bignum::mod_exp_ref(base, exp, m));
+    }
+  }
+}
+
+TEST(Montgomery, ModExpEdgeCases) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Bignum m1 = m - Bignum(1);
+    // 0^0 = 1 by repo convention; 0^e = 0; x^0 = 1; x^1 = x.
+    EXPECT_EQ(ctx.mod_exp(Bignum(0), Bignum(0)), Bignum(1));
+    EXPECT_EQ(ctx.mod_exp(Bignum(0), m1), Bignum(0));
+    EXPECT_EQ(ctx.mod_exp(m1, Bignum(0)), Bignum(1));
+    EXPECT_EQ(ctx.mod_exp(m1, Bignum(1)), m1);
+    // Base ≥ m must be reduced first, matching the reference ladder.
+    Bignum big = m + m1;
+    Rng rng(404);
+    Bignum e = random_below(rng, m);
+    EXPECT_EQ(ctx.mod_exp(big, e), Bignum::mod_exp_ref(big, e, m));
+    // Fermat: a^(m−1) = 1 for prime m, gcd(a, m) = 1.
+    EXPECT_EQ(ctx.mod_exp(Bignum(2), m1), Bignum(1));
+  }
+}
+
+TEST(Montgomery, DispatcherAgreesWithReference) {
+  // Bignum::mod_exp routes odd multi-limb moduli with long exponents to
+  // the Montgomery path — both paths must be indistinguishable, and the
+  // even-modulus case must still work (reference only).
+  Rng rng(405);
+  Bignum m = generate_safe_prime(130, 21).p;
+  for (int i = 0; i < 10; ++i) {
+    Bignum base = random_below(rng, m);
+    Bignum exp = random_below(rng, m);
+    EXPECT_EQ(Bignum::mod_exp(base, exp, m),
+              Bignum::mod_exp_ref(base, exp, m));
+  }
+  Bignum even = m - Bignum(1);
+  Bignum base = random_below(rng, even);
+  EXPECT_EQ(Bignum::mod_exp(base, Bignum(12345), even),
+            Bignum::mod_exp_ref(base, Bignum(12345), even));
+}
+
+TEST(Montgomery, DualExpMatchesProductOfReferences) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(406);
+    for (int i = 0; i < 20; ++i) {
+      Bignum a = random_below(rng, m);
+      Bignum b = random_below(rng, m);
+      Bignum ea = random_below(rng, m);
+      Bignum eb = random_below(rng, m);
+      Bignum want = Bignum::mul_mod(Bignum::mod_exp_ref(a, ea, m),
+                                    Bignum::mod_exp_ref(b, eb, m), m);
+      EXPECT_EQ(ctx.dual_exp(a, ea, b, eb), want);
+    }
+  }
+}
+
+TEST(Montgomery, DualExpEdgeExponents) {
+  Bignum m = generate_safe_prime(130, 22).p;
+  MontgomeryCtx ctx(m);
+  Rng rng(407);
+  Bignum a = random_below(rng, m);
+  Bignum b = random_below(rng, m);
+  Bignum e = random_below(rng, m);
+  Bignum m1 = m - Bignum(1);
+  // Zero exponents on either side, both sides, and mismatched lengths.
+  EXPECT_EQ(ctx.dual_exp(a, Bignum(0), b, Bignum(0)), Bignum(1));
+  EXPECT_EQ(ctx.dual_exp(a, e, b, Bignum(0)), Bignum::mod_exp_ref(a, e, m));
+  EXPECT_EQ(ctx.dual_exp(a, Bignum(0), b, e), Bignum::mod_exp_ref(b, e, m));
+  EXPECT_EQ(ctx.dual_exp(a, Bignum(1), b, Bignum(1)),
+            Bignum::mul_mod(a, b, m));
+  Bignum want = Bignum::mul_mod(Bignum::mod_exp_ref(a, m1, m),
+                                Bignum::mod_exp_ref(b, Bignum(3), m), m);
+  EXPECT_EQ(ctx.dual_exp(a, m1, b, Bignum(3)), want);
+  // Unreduced bases.
+  EXPECT_EQ(ctx.dual_exp(a + m, e, b + m, e),
+            Bignum::mul_mod(Bignum::mod_exp_ref(a, e, m),
+                            Bignum::mod_exp_ref(b, e, m), m));
+}
+
+TEST(Montgomery, CombTableMatchesReference) {
+  for (const Bignum& m : test_moduli()) {
+    auto ctx = std::make_shared<const MontgomeryCtx>(m);
+    CombTable comb(ctx, Bignum(4), m.bit_length());
+    Rng rng(408);
+    for (int i = 0; i < 20; ++i) {
+      Bignum e = random_below(rng, m);
+      EXPECT_EQ(comb.exp(e), Bignum::mod_exp_ref(Bignum(4), e, m));
+    }
+    EXPECT_EQ(comb.exp(Bignum(0)), Bignum(1));
+    EXPECT_EQ(comb.exp(Bignum(1)), Bignum(4));
+    EXPECT_EQ(comb.exp(m - Bignum(1)),
+              Bignum::mod_exp_ref(Bignum(4), m - Bignum(1), m));
+    // Exponents beyond the table's max_exp_bits fall back to ctx mod_exp.
+    Bignum huge = (Bignum(1) << (m.bit_length() + 13)) + Bignum(77);
+    EXPECT_EQ(comb.exp(huge), Bignum::mod_exp_ref(Bignum(4), huge, m));
+  }
+}
+
+TEST(Montgomery, JacobiMatchesEulerCriterion) {
+  for (const Bignum& m : test_moduli()) {
+    if (m.bit_length() > 256) continue;  // Euler oracle cost
+    Bignum q = (m - Bignum(1)) >> 1;
+    Rng rng(409);
+    for (int i = 0; i < 40; ++i) {
+      Bignum a = random_below(rng, m);
+      int j = Bignum::jacobi(a, m);
+      if (a.is_zero()) {
+        EXPECT_EQ(j, 0);
+        continue;
+      }
+      // For prime m: (a/m) = a^((m−1)/2) mod m, mapping m−1 ↦ −1.
+      Bignum euler = Bignum::mod_exp_ref(a, q, m);
+      int want = euler == Bignum(1) ? 1 : -1;
+      EXPECT_EQ(j, want) << "a=" << a.to_hex();
+    }
+    EXPECT_EQ(Bignum::jacobi(Bignum(0), m), 0);
+    EXPECT_EQ(Bignum::jacobi(Bignum(1), m), 1);
+    // Unreduced argument: (a/m) depends only on a mod m.
+    Bignum a = random_below(rng, m);
+    EXPECT_EQ(Bignum::jacobi(a + m, m), Bignum::jacobi(a, m));
+  }
+}
+
+}  // namespace
+}  // namespace coincidence::crypto
