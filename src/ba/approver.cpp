@@ -17,7 +17,17 @@ std::size_t ok_words(std::size_t proof_entries) {
 }  // namespace
 
 Approver::Approver(Config cfg, Value input, DoneFn on_done)
-    : cfg_(std::move(cfg)), input_(input), on_done_(std::move(on_done)) {
+    : cfg_(std::move(cfg)),
+      input_(input),
+      on_done_(std::move(on_done)),
+      tag_init_(cfg_.tag + "/init"),
+      tag_echo_(cfg_.tag + "/echo"),
+      tag_ok_(cfg_.tag + "/ok"),
+      init_seed_(cfg_.tag + "/init"),
+      ok_seed_(cfg_.tag + "/ok"),
+      echo_seeds_{cfg_.tag + "/echo/" + value_name(kZero),
+                  cfg_.tag + "/echo/" + value_name(kOne),
+                  cfg_.tag + "/echo/" + value_name(kBot)} {
   COIN_REQUIRE(is_valid_value(input), "Approver: input must be 0, 1 or bot");
   COIN_REQUIRE(cfg_.registry && cfg_.sampler && cfg_.signer,
                "Approver: missing crypto environment");
@@ -42,24 +52,24 @@ void Approver::start(sim::Context& ctx) {
   if (in_init_) {
     Writer w;
     w.u8(input_).blob(init_election_proof_);
-    ctx.broadcast(cfg_.tag + "/init", w.take(), kInitWords);
+    ctx.broadcast(tag_init_, w.take(), kInitWords);
   }
 }
 
 bool Approver::handle(sim::Context& ctx, const sim::Message& msg) {
-  if (msg.tag == cfg_.tag + "/init") return handle_init(ctx, msg);
-  if (msg.tag == cfg_.tag + "/echo") return handle_echo(ctx, msg);
-  if (msg.tag == cfg_.tag + "/ok") return handle_ok(ctx, msg);
+  if (msg.tag == tag_init_) return handle_init(ctx, msg);
+  if (msg.tag == tag_echo_) return handle_echo(ctx, msg);
+  if (msg.tag == tag_ok_) return handle_ok(ctx, msg);
   return false;
 }
 
 bool Approver::handle_init(sim::Context& ctx, const sim::Message& msg) {
   Value v;
-  Bytes election;
+  BytesView election;
   try {
     Reader r(msg.payload);
     v = r.u8();
-    election = r.blob();
+    election = r.blob_view();
     r.done();
   } catch (const CodecError&) {
     return true;
@@ -83,7 +93,7 @@ void Approver::maybe_echo(sim::Context& ctx, Value v) {
   Bytes sig = cfg_.signer->sign(ctx.self(), echo_sign_bytes(v));
   Writer w;
   w.u8(v).blob(election.proof).blob(sig);
-  ctx.broadcast(cfg_.tag + "/echo", w.take(), kEchoWords);
+  ctx.broadcast(tag_echo_, w.take(), kEchoWords);
 }
 
 bool Approver::handle_echo(sim::Context& ctx, const sim::Message& msg) {
@@ -119,27 +129,34 @@ void Approver::maybe_ok(sim::Context& ctx, Value v) {
     w.u32(proof[i].sender).blob(proof[i].signature).blob(
         proof[i].election_proof);
   }
-  ctx.broadcast(cfg_.tag + "/ok", w.take(), ok_words(cfg_.params.W));
+  ctx.broadcast(tag_ok_, w.take(), ok_words(cfg_.params.W));
 }
 
 bool Approver::handle_ok(sim::Context& /*ctx*/, const sim::Message& msg) {
   if (done_) return true;
   Value v;
-  Bytes election;
-  std::vector<SignedEcho> proof;
+  BytesView election;
+  // Proof entries borrow from the message buffer: the W signatures are
+  // verified and discarded, never stored, so no copies are needed.
+  struct EchoEntry {
+    crypto::ProcessId sender = 0;
+    BytesView signature;
+    BytesView election_proof;
+  };
+  std::vector<EchoEntry> proof;
   try {
     Reader r(msg.payload);
     v = r.u8();
-    election = r.blob();
+    election = r.blob_view();
     std::uint32_t count = r.u32();
     if (count != cfg_.params.W) return true;  // wrong proof arity
     proof.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
-      SignedEcho e;
+      EchoEntry e;
       e.sender = r.u32();
-      e.signature = r.blob();
-      e.election_proof = r.blob();
-      proof.push_back(std::move(e));
+      e.signature = r.blob_view();
+      e.election_proof = r.blob_view();
+      proof.push_back(e);
     }
     r.done();
   } catch (const CodecError&) {

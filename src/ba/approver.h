@@ -20,6 +20,7 @@
 // signatures inside each ok message.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -70,11 +71,9 @@ class Approver {
     Bytes election_proof;
   };
 
-  std::string init_seed() const { return cfg_.tag + "/init"; }
-  std::string echo_seed(Value v) const {
-    return cfg_.tag + "/echo/" + value_name(v);
-  }
-  std::string ok_seed() const { return cfg_.tag + "/ok"; }
+  const std::string& init_seed() const { return init_seed_; }
+  const std::string& echo_seed(Value v) const { return echo_seeds_[v]; }
+  const std::string& ok_seed() const { return ok_seed_; }
 
   /// The byte string an echo(v) member signs.
   Bytes echo_sign_bytes(Value v) const;
@@ -88,6 +87,16 @@ class Approver {
   Config cfg_;
   Value input_;
   DoneFn on_done_;
+
+  // Interned tags and committee seeds, built once at construction:
+  // handle() dispatches by integer id and the verifiers re-use the seed
+  // strings without per-message allocation.
+  sim::Tag tag_init_;
+  sim::Tag tag_echo_;
+  sim::Tag tag_ok_;
+  std::string init_seed_;
+  std::string ok_seed_;
+  std::array<std::string, 3> echo_seeds_;  // indexed by Value {0, 1, ⊥}
 
   bool in_init_ = false;
   bool in_ok_ = false;

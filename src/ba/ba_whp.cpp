@@ -122,9 +122,11 @@ void BaWhp::replay_backlog(sim::Context& ctx) {
   }
 }
 
-std::uint64_t BaWhp::tag_round(const std::string& tag) const {
+std::uint64_t BaWhp::tag_round(sim::Tag t) const {
   // Tags look like "<cfg_.tag>/<round>/..."; unparseable tags map to the
-  // current round so they are never pruned prematurely.
+  // current round so they are never pruned prematurely. str() is a
+  // reference into the interner — no allocation on the message path.
+  const std::string& tag = t.str();
   std::size_t base = cfg_.tag.size();
   if (tag.size() <= base + 1 || tag.compare(0, base, cfg_.tag) != 0 ||
       tag[base] != '/')

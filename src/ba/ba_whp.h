@@ -72,7 +72,7 @@ class BaWhp final : public BaProcess {
   void on_props(sim::Context& ctx, const std::set<Value>& props);
   void replay_backlog(sim::Context& ctx);
   bool offer(sim::Context& ctx, const sim::Message& msg);
-  std::uint64_t tag_round(const std::string& tag) const;
+  std::uint64_t tag_round(sim::Tag tag) const;
 
   Config cfg_;
   Value est_;

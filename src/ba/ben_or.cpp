@@ -34,27 +34,36 @@ void BenOr::begin_round(sim::Context& ctx) {
   }
   Writer w;
   w.u8(x_);
-  ctx.broadcast(cfg_.tag + "/" + std::to_string(round_) + "/R", w.take(),
-                kWordsPerMessage);
+  ctx.broadcast(round_tag(round_, 'R'), w.take(), kWordsPerMessage);
   check_progress(ctx);  // counters for this round may already be full
+}
+
+sim::Tag BenOr::round_tag(std::uint64_t r, char kind) {
+  while (round_tags_.size() <= r) {
+    const std::string base =
+        cfg_.tag + "/" + std::to_string(round_tags_.size()) + "/";
+    round_tags_.push_back({sim::Tag(base + "R"), sim::Tag(base + "P")});
+  }
+  return round_tags_[r][kind == 'R' ? 0 : 1];
 }
 
 void BenOr::on_message(sim::Context& ctx, const sim::Message& msg) {
   if (halted_) return;
-  // Tags: "<tag>/<r>/R" or "<tag>/<r>/P".
-  const std::string& t = msg.tag;
+  // Tags: "<tag>/<r>/R" or "<tag>/<r>/P". Parsed off the interner's
+  // resolved string — no allocation on the message path.
+  const std::string& t = msg.tag.str();
   if (t.size() < cfg_.tag.size() + 4 ||
       t.compare(0, cfg_.tag.size(), cfg_.tag) != 0)
     return;
   std::size_t round_begin = cfg_.tag.size() + 1;
   std::size_t slash = t.find('/', round_begin);
-  if (slash == std::string::npos) return;
+  if (slash == std::string::npos || slash + 2 != t.size()) return;
   std::uint64_t r = 0;
   for (std::size_t i = round_begin; i < slash; ++i) {
     if (t[i] < '0' || t[i] > '9') return;
     r = r * 10 + static_cast<std::uint64_t>(t[i] - '0');
   }
-  std::string kind = t.substr(slash + 1);
+  const char kind = t[slash + 1];
   if (r >= cfg_.max_rounds) return;  // Byzantine round-flood guard
 
   Value v;
@@ -67,11 +76,11 @@ void BenOr::on_message(sim::Context& ctx, const sim::Message& msg) {
   }
 
   RoundState& rs = state(r);
-  if (kind == "R") {
+  if (kind == 'R') {
     if (!is_binary(v)) return;  // reports carry 0/1 only
     if (!rs.report_senders.insert(msg.from).second) return;
     rs.reports[v].insert(msg.from);
-  } else if (kind == "P") {
+  } else if (kind == 'P') {
     if (!is_binary(v) && v != kQuestion) return;
     if (!rs.proposal_senders.insert(msg.from).second) return;
     rs.proposals[v].insert(msg.from);
@@ -99,8 +108,7 @@ void BenOr::check_progress(sim::Context& ctx) {
           proposal = v;
       Writer w;
       w.u8(proposal);
-      ctx.broadcast(cfg_.tag + "/" + std::to_string(round_) + "/P", w.take(),
-                    kWordsPerMessage);
+      ctx.broadcast(round_tag(round_, 'P'), w.take(), kWordsPerMessage);
     }
 
     if (rs.proposal_senders.size() < quorum) return;
@@ -134,8 +142,7 @@ void BenOr::check_progress(sim::Context& ctx) {
     }
     Writer w;
     w.u8(x_);
-    ctx.broadcast(cfg_.tag + "/" + std::to_string(round_) + "/R", w.take(),
-                  kWordsPerMessage);
+    ctx.broadcast(round_tag(round_, 'R'), w.take(), kWordsPerMessage);
     // Loop: the new round's counters may already be over threshold.
   }
 }

@@ -13,11 +13,13 @@
 // scale" row of Table 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ba/ba_process.h"
 #include "ba/value.h"
@@ -61,6 +63,8 @@ class BenOr final : public BaProcess {
   void begin_round(sim::Context& ctx);
   void check_progress(sim::Context& ctx);
   RoundState& state(std::uint64_t r) { return rounds_[r]; }
+  /// "<tag>/<r>/R" or "<tag>/<r>/P", interned once per round and cached.
+  sim::Tag round_tag(std::uint64_t r, char kind);
 
   Config cfg_;
   Value x_;
@@ -69,6 +73,8 @@ class BenOr final : public BaProcess {
   std::uint64_t round_ = 0;
   bool halted_ = false;
   std::map<std::uint64_t, RoundState> rounds_;
+  // round_tag cache: [r] = {R-tag, P-tag}, grown as rounds begin.
+  std::vector<std::array<sim::Tag, 2>> round_tags_;
 };
 
 }  // namespace coincidence::ba

@@ -70,7 +70,8 @@ void Bracha::enter_step(sim::Context& ctx) {
 void Bracha::on_message(sim::Context& ctx, const sim::Message& msg) {
   if (halted_) return;
   // Route to the RBC instance named in the tag: "<tag>/<r>/<step>/...".
-  const std::string& t = msg.tag;
+  // Parsed off the interner's resolved string — no allocation here.
+  const std::string& t = msg.tag.str();
   if (t.compare(0, cfg_.tag.size(), cfg_.tag) != 0) return;
   std::size_t p = cfg_.tag.size() + 1;
   if (p >= t.size()) return;

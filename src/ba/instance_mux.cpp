@@ -1,5 +1,7 @@
 #include "ba/instance_mux.h"
 
+#include <string_view>
+
 #include "common/errors.h"
 
 namespace coincidence::ba {
@@ -20,13 +22,22 @@ void InstanceMux::on_start(sim::Context& ctx) {
 
 void InstanceMux::on_message(sim::Context& ctx, const sim::Message& msg) {
   // Route by the first tag segment; unknown prefixes are dropped (they
-  // can only come from Byzantine senders inventing instances).
-  auto slash = msg.tag.find('/');
-  std::string prefix =
-      slash == std::string::npos ? msg.tag : msg.tag.substr(0, slash);
+  // can only come from Byzantine senders inventing instances). The
+  // TagId -> instance result is memoized, so each distinct tag is parsed
+  // once and every subsequent message routes allocation-free.
+  if (BaProcess** cached = route_cache_.find(msg.tag.id())) {
+    if (*cached != nullptr) (*cached)->on_message(ctx, msg);
+    return;
+  }
+  const std::string& t = msg.tag.str();
+  auto slash = t.find('/');
+  std::string_view prefix =
+      slash == std::string::npos ? std::string_view(t)
+                                 : std::string_view(t).substr(0, slash);
   auto it = instances_.find(prefix);
-  if (it == instances_.end()) return;
-  it->second->on_message(ctx, msg);
+  BaProcess* target = it == instances_.end() ? nullptr : it->second.get();
+  route_cache_[msg.tag.id()] = target;
+  if (target != nullptr) target->on_message(ctx, msg);
 }
 
 BaProcess& InstanceMux::instance(const std::string& prefix) {

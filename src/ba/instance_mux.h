@@ -12,6 +12,7 @@
 #include <string>
 
 #include "ba/ba_process.h"
+#include "sim/flat_map64.h"
 
 namespace coincidence::ba {
 
@@ -33,7 +34,12 @@ class InstanceMux final : public sim::Process {
   bool all_decided() const;
 
  private:
-  std::map<std::string, std::unique_ptr<BaProcess>> instances_;
+  // less<> enables find(string_view): prefix routing never copies.
+  std::map<std::string, std::unique_ptr<BaProcess>, std::less<>> instances_;
+  // TagId -> instance, learned on first sight of each tag. Every later
+  // message with the same tag routes by one hash lookup, no parsing.
+  // nullptr entries memoize unknown prefixes (Byzantine-invented tags).
+  mutable sim::FlatMap64<BaProcess*> route_cache_;
 };
 
 }  // namespace coincidence::ba

@@ -40,16 +40,27 @@ void Mmr::begin_round(sim::Context& ctx) {
   check_progress(ctx);
 }
 
+const Mmr::RoundTags& Mmr::round_tags(std::uint64_t r) {
+  while (round_tags_.size() <= r) {
+    const std::string base = round_tag(round_tags_.size());
+    round_tags_.push_back({sim::Tag(base + "/bval"), sim::Tag(base + "/aux")});
+  }
+  return round_tags_[r];
+}
+
 void Mmr::broadcast_bval(sim::Context& ctx, std::uint64_t r, Value v) {
   RoundState& rs = state(r);
   if (!rs.bval_relayed.insert(v).second) return;
   Writer w;
   w.u8(v);
-  ctx.broadcast(round_tag(r) + "/bval", w.take(), kWordsPerMessage);
+  ctx.broadcast(round_tags(r).bval, w.take(), kWordsPerMessage);
 }
 
-std::optional<std::uint64_t> Mmr::parse_round(const std::string& tag,
-                                              std::string& rest) const {
+std::optional<std::uint64_t> Mmr::parse_round(sim::Tag t,
+                                              std::string_view& rest) const {
+  // Parsed off the interner's resolved string; `rest` views into it, so
+  // the message path allocates nothing.
+  const std::string& tag = t.str();
   if (tag.compare(0, cfg_.tag.size(), cfg_.tag) != 0) return std::nullopt;
   std::size_t p = cfg_.tag.size();
   if (p >= tag.size() || tag[p] != '/') return std::nullopt;
@@ -62,7 +73,7 @@ std::optional<std::uint64_t> Mmr::parse_round(const std::string& tag,
     any = true;
   }
   if (!any || p >= tag.size() || tag[p] != '/') return std::nullopt;
-  rest = tag.substr(p + 1);
+  rest = std::string_view(tag).substr(p + 1);
   return r;
 }
 
@@ -70,7 +81,7 @@ void Mmr::on_message(sim::Context& ctx, const sim::Message& msg) {
   retired_coins_.clear();  // safe point, no coin handle() frame active
   if (halted_) return;
 
-  std::string rest;
+  std::string_view rest;
   auto r = parse_round(msg.tag, rest);
   if (!r || *r >= cfg_.max_rounds) return;
 
@@ -116,7 +127,7 @@ void Mmr::check_progress(sim::Context& ctx) {
     rs.aux_sent = true;
     Writer w;
     w.u8(*rs.bin_values.begin());
-    ctx.broadcast(round_tag(round_) + "/aux", w.take(), kWordsPerMessage);
+    ctx.broadcast(round_tags(round_).aux, w.take(), kWordsPerMessage);
   }
   if (!rs.aux_sent) return;
 
@@ -147,7 +158,7 @@ void Mmr::check_progress(sim::Context& ctx) {
   std::vector<sim::Message> backlog;
   backlog.swap(coin_backlog_);
   for (auto& m : backlog) {
-    std::string rest;
+    std::string_view rest;
     auto r = parse_round(m.tag, rest);
     if (!r || *r < round_) continue;  // stale
     if (waiting_for_coin_ && coin_ && *r == round_ && coin_->handle(ctx, m))

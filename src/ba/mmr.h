@@ -25,6 +25,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ba/ba_process.h"
@@ -75,14 +76,21 @@ class Mmr final : public BaProcess {
   std::string round_tag(std::uint64_t r) const {
     return cfg_.tag + "/" + std::to_string(r);
   }
+  /// Interned per-round broadcast tags, built lazily and reused: rounds
+  /// broadcast many times but intern each tag exactly once.
+  struct RoundTags {
+    sim::Tag bval;
+    sim::Tag aux;
+  };
+  const RoundTags& round_tags(std::uint64_t r);
   RoundState& state(std::uint64_t r) { return rounds_[r]; }
 
   void begin_round(sim::Context& ctx);
   void broadcast_bval(sim::Context& ctx, std::uint64_t r, Value v);
   void check_progress(sim::Context& ctx);
   void on_coin(sim::Context& ctx, int c);
-  std::optional<std::uint64_t> parse_round(const std::string& tag,
-                                           std::string& rest) const;
+  std::optional<std::uint64_t> parse_round(sim::Tag tag,
+                                           std::string_view& rest) const;
 
   Config cfg_;
   Value est_;
@@ -94,6 +102,7 @@ class Mmr final : public BaProcess {
   std::set<Value> vals_;  // the aux value set fixed before the coin flip
 
   std::map<std::uint64_t, RoundState> rounds_;
+  std::vector<RoundTags> round_tags_;
   std::unique_ptr<coin::CoinProtocol> coin_;
   std::vector<std::unique_ptr<coin::CoinProtocol>> retired_coins_;
   std::vector<sim::Message> coin_backlog_;

@@ -6,14 +6,18 @@
 namespace coincidence::ba {
 
 ReliableBroadcast::ReliableBroadcast(Config cfg, DeliverFn on_deliver)
-    : cfg_(std::move(cfg)), on_deliver_(std::move(on_deliver)) {
+    : cfg_(std::move(cfg)),
+      on_deliver_(std::move(on_deliver)),
+      tag_initial_(cfg_.tag + "/initial"),
+      tag_echo_(cfg_.tag + "/echo"),
+      tag_ready_(cfg_.tag + "/ready") {
   COIN_REQUIRE(cfg_.n > 3 * cfg_.f, "ReliableBroadcast: requires n > 3f");
 }
 
 void ReliableBroadcast::broadcast(sim::Context& ctx, Bytes payload,
                                   std::size_t words) {
   payload_words_ = words;
-  ctx.broadcast(cfg_.tag + "/initial", std::move(payload), words);
+  ctx.broadcast(tag_initial_, std::move(payload), words);
 }
 
 void ReliableBroadcast::maybe_send_ready(sim::Context& ctx,
@@ -22,7 +26,7 @@ void ReliableBroadcast::maybe_send_ready(sim::Context& ctx,
   ready_sent_.insert(key);
   Writer w;
   w.u32(key.source).blob(key.payload);
-  ctx.broadcast(cfg_.tag + "/ready", w.take(), payload_words_ + 1);
+  ctx.broadcast(tag_ready_, w.take(), payload_words_ + 1);
 }
 
 void ReliableBroadcast::maybe_deliver(const FlowKey& key) {
@@ -32,19 +36,19 @@ void ReliableBroadcast::maybe_deliver(const FlowKey& key) {
 }
 
 bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
-  if (msg.tag == cfg_.tag + "/initial") {
+  if (msg.tag == tag_initial_) {
     // Echo once per source: the first initial wins; an equivocating
     // source simply fails to gather a quorum for either payload.
     if (echoed_sources_.insert(msg.from).second) {
       Writer w;
       w.u32(msg.from).blob(msg.payload);
-      ctx.broadcast(cfg_.tag + "/echo", w.take(), payload_words_ + 1);
+      ctx.broadcast(tag_echo_, w.take(), payload_words_ + 1);
     }
     return true;
   }
 
-  bool is_echo = msg.tag == cfg_.tag + "/echo";
-  bool is_ready = msg.tag == cfg_.tag + "/ready";
+  bool is_echo = msg.tag == tag_echo_;
+  bool is_ready = msg.tag == tag_ready_;
   if (!is_echo && !is_ready) return false;
 
   FlowKey key;

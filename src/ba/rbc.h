@@ -70,6 +70,10 @@ class ReliableBroadcast {
 
   Config cfg_;
   DeliverFn on_deliver_;
+  // Interned once at construction; handle() matches by integer id.
+  sim::Tag tag_initial_;
+  sim::Tag tag_echo_;
+  sim::Tag tag_ready_;
   std::size_t payload_words_ = 1;
 
   std::map<FlowKey, Flow> flows_;

@@ -57,7 +57,9 @@ int DealerCoinSetup::bit_of(std::uint64_t round) const {
 }
 
 DealerCoin::DealerCoin(Config cfg, DoneFn on_done)
-    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+    : cfg_(std::move(cfg)),
+      on_done_(std::move(on_done)),
+      tag_share_(cfg_.tag + "/share") {
   COIN_REQUIRE(cfg_.setup != nullptr, "DealerCoin: missing setup");
   COIN_REQUIRE(cfg_.round < cfg_.setup->max_rounds(),
                "DealerCoin: round beyond dealt supply");
@@ -67,20 +69,20 @@ void DealerCoin::start(sim::Context& ctx) {
   auto dealt = cfg_.setup->share_for(cfg_.round, ctx.self());
   Writer w;
   w.u64(dealt.share.x).u64(dealt.share.y).blob(dealt.mac);
-  ctx.broadcast(cfg_.tag + "/share", w.take(), kShareMessageWords);
+  ctx.broadcast(tag_share_, w.take(), kShareMessageWords);
 }
 
 bool DealerCoin::handle(sim::Context& /*ctx*/, const sim::Message& msg) {
-  if (msg.tag != cfg_.tag + "/share") return false;
+  if (msg.tag != tag_share_) return false;
   if (done_) return true;
 
   crypto::Share share;
-  Bytes mac;
+  BytesView mac;
   try {
     Reader r(msg.payload);
     share.x = r.u64();
     share.y = r.u64();
-    mac = r.blob();
+    mac = r.blob_view();
     r.done();
   } catch (const CodecError&) {
     return true;

@@ -83,6 +83,7 @@ class DealerCoin final : public CoinProtocol {
  private:
   Config cfg_;
   DoneFn on_done_;
+  sim::Tag tag_share_;  // interned once; handle() compares ids
   std::map<crypto::ProcessId, crypto::Share> shares_;
   bool done_ = false;
   int output_ = 0;

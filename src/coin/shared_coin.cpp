@@ -1,5 +1,7 @@
 #include "coin/shared_coin.h"
 
+#include <algorithm>
+
 #include "common/errors.h"
 #include "common/ser.h"
 
@@ -15,9 +17,9 @@ constexpr std::size_t kCoinMessageWords = 2;
 // comes first (the ablation adversary in sim/adversary.cpp relies on
 // being able to read it in illegal content-aware mode).
 struct SharedCoin::Wire {
-  Bytes value;
+  BytesView value;
   crypto::ProcessId origin = 0;
-  Bytes origin_proof;
+  BytesView origin_proof;
 
   Bytes encode() const {
     Writer w;
@@ -25,12 +27,14 @@ struct SharedCoin::Wire {
     return w.take();
   }
 
+  // Fields view into `payload`; callers verify and fold before the
+  // message buffer goes away.
   static bool decode(BytesView payload, Wire& out) {
     try {
       Reader r(payload);
-      out.value = r.blob();
+      out.value = r.blob_view();
       out.origin = r.u32();
-      out.origin_proof = r.blob();
+      out.origin_proof = r.blob_view();
       r.done();
       return true;
     } catch (const CodecError&) {
@@ -40,53 +44,61 @@ struct SharedCoin::Wire {
 };
 
 SharedCoin::SharedCoin(Config cfg, DoneFn on_done)
-    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+    : cfg_(std::move(cfg)),
+      on_done_(std::move(on_done)),
+      tag_first_(cfg_.tag + "/first"),
+      tag_second_(cfg_.tag + "/second") {
   COIN_REQUIRE(cfg_.n > 0, "SharedCoin: n must be positive");
   COIN_REQUIRE(cfg_.n > 2 * cfg_.f, "SharedCoin: need n - f > f");
   COIN_REQUIRE(cfg_.vrf != nullptr && cfg_.registry != nullptr,
                "SharedCoin: missing crypto environment");
-}
-
-Bytes SharedCoin::vrf_input() const {
   Writer w;
   w.str("shared-coin").u64(cfg_.round);
-  return w.take();
+  vrf_input_ = w.take();
 }
 
-void SharedCoin::fold_min(const Bytes& value, crypto::ProcessId origin,
-                          const Bytes& origin_proof) {
+void SharedCoin::fold_min(BytesView value, crypto::ProcessId origin,
+                          BytesView origin_proof) {
   // Lexicographic comparison of the fixed-width big-endian values is the
   // numeric order; origin id breaks the (cryptographically negligible) tie.
-  if (min_value_.empty() || value < min_value_ ||
-      (value == min_value_ && origin < min_origin_)) {
-    min_value_ = value;
+  const bool less = std::lexicographical_compare(
+      value.begin(), value.end(), min_value_.begin(), min_value_.end());
+  const bool equal = value.size() == min_value_.size() &&
+                     std::equal(value.begin(), value.end(),
+                                min_value_.begin());
+  if (min_value_.empty() || less || (equal && origin < min_origin_)) {
+    min_value_.assign(value.begin(), value.end());
     min_origin_ = origin;
-    min_origin_proof_ = origin_proof;
+    min_origin_proof_.assign(origin_proof.begin(), origin_proof.end());
   }
 }
 
 void SharedCoin::start(sim::Context& ctx) {
   crypto::VrfOutput out =
-      cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input());
+      cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input_);
   Wire wire{out.value, ctx.self(), out.proof};
-  ctx.broadcast(cfg_.tag + "/first", wire.encode(), kCoinMessageWords);
+  ctx.broadcast(tag_first_, wire.encode(), kCoinMessageWords);
 }
 
 bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
-  bool is_first = msg.tag == cfg_.tag + "/first";
-  bool is_second = msg.tag == cfg_.tag + "/second";
+  const bool is_first = msg.tag == tag_first_;
+  const bool is_second = msg.tag == tag_second_;
   if (!is_first && !is_second) return false;
+
+  // Once done, every path below returns true without touching state —
+  // skip the decode and VRF verification outright.
+  if (done_) return true;
 
   Wire wire;
   if (!Wire::decode(msg.payload, wire)) return true;  // malformed: ignore
   if (is_first && wire.origin != msg.from) return true;  // firsts are own values
   if (wire.origin >= cfg_.n) return true;
-  crypto::VrfOutput out{wire.value, wire.origin_proof};
-  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input(), out))
+  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input_,
+                        wire.value, wire.origin_proof))
     return true;  // forged value/proof: ignore (paper: "would expose it")
 
   if (is_first) {
-    if (done_ || !first_set_.insert(msg.from).second) return true;
+    if (!first_set_.insert(msg.from).second) return true;
     // Late firsts (after <second> went out) still fold into v_i, exactly
     // as in the pseudo-code: only the *send* is once-only.
     fold_min(wire.value, wire.origin, wire.origin_proof);
@@ -94,13 +106,13 @@ bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
       sent_second_ = true;
       first_snapshot_ = first_set_;
       Wire relay{min_value_, min_origin_, min_origin_proof_};
-      ctx.broadcast(cfg_.tag + "/second", relay.encode(), kCoinMessageWords);
+      ctx.broadcast(tag_second_, relay.encode(), kCoinMessageWords);
     }
     return true;
   }
 
   // <second>
-  if (done_ || !second_set_.insert(msg.from).second) return true;
+  if (!second_set_.insert(msg.from).second) return true;
   fold_min(wire.value, wire.origin, wire.origin_proof);
   if (second_set_.size() == cfg_.n - cfg_.f) {
     done_ = true;

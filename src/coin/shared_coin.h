@@ -59,13 +59,18 @@ class SharedCoin final : public CoinProtocol {
  private:
   struct Wire;  // payload codec
 
-  Bytes vrf_input() const;
   /// Updates the running minimum with a validated (value, origin) pair.
-  void fold_min(const Bytes& value, crypto::ProcessId origin,
-                const Bytes& origin_proof);
+  void fold_min(BytesView value, crypto::ProcessId origin,
+                BytesView origin_proof);
 
   Config cfg_;
   DoneFn on_done_;
+
+  // Precomputed at construction: handle() matches tags by integer id and
+  // evaluates against the cached input — no allocation per message.
+  sim::Tag tag_first_;
+  sim::Tag tag_second_;
+  Bytes vrf_input_;
 
   Bytes min_value_;            // current minimum VRF value (empty = none)
   crypto::ProcessId min_origin_ = 0;

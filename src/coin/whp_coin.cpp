@@ -1,5 +1,7 @@
 #include "coin/whp_coin.h"
 
+#include <algorithm>
+
 #include "common/errors.h"
 #include "common/ser.h"
 
@@ -12,12 +14,14 @@ constexpr std::size_t kWhpCoinMessageWords = 3;
 
 // Payload: the coin value + its originator's VRF proof, plus the
 // *sender's* committee-election proof. Value blob first (see
-// sim/adversary.cpp ablation note).
+// sim/adversary.cpp ablation note). Fields are views: decode borrows
+// straight from the message buffer and the caller verifies/folds before
+// the message goes away — nothing is copied.
 struct WhpCoin::Wire {
-  Bytes value;
+  BytesView value;
   crypto::ProcessId origin = 0;
-  Bytes origin_proof;
-  Bytes election_proof;
+  BytesView origin_proof;
+  BytesView election_proof;
 
   Bytes encode() const {
     Writer w;
@@ -28,10 +32,10 @@ struct WhpCoin::Wire {
   static bool decode(BytesView payload, Wire& out) {
     try {
       Reader r(payload);
-      out.value = r.blob();
+      out.value = r.blob_view();
       out.origin = r.u32();
-      out.origin_proof = r.blob();
-      out.election_proof = r.blob();
+      out.origin_proof = r.blob_view();
+      out.election_proof = r.blob_view();
       r.done();
       return true;
     } catch (const CodecError&) {
@@ -41,32 +45,50 @@ struct WhpCoin::Wire {
 };
 
 WhpCoin::WhpCoin(Config cfg, DoneFn on_done)
-    : cfg_(std::move(cfg)), on_done_(std::move(on_done)) {
+    : cfg_(std::move(cfg)),
+      on_done_(std::move(on_done)),
+      tag_first_(cfg_.tag + "/first"),
+      tag_second_(cfg_.tag + "/second"),
+      first_seed_(cfg_.tag + "/first"),
+      second_seed_(cfg_.tag + "/second"),
+      first_seen_(cfg_.params.n, false),
+      second_seen_(cfg_.params.n, false) {
   COIN_REQUIRE(cfg_.vrf && cfg_.registry && cfg_.sampler,
                "WhpCoin: missing crypto environment");
   COIN_REQUIRE(cfg_.params.n > 0 && cfg_.params.W > 0,
                "WhpCoin: bad parameters");
-}
-
-Bytes WhpCoin::vrf_input() const {
   Writer w;
   w.str("whp-coin").u64(cfg_.round);
-  return w.take();
+  vrf_input_ = w.take();
 }
 
-void WhpCoin::fold_min(const Bytes& value, crypto::ProcessId origin,
-                       const Bytes& origin_proof) {
-  if (min_value_.empty() || value < min_value_ ||
-      (value == min_value_ && origin < min_origin_)) {
-    min_value_ = value;
+void WhpCoin::fold_min(BytesView value, crypto::ProcessId origin,
+                       BytesView origin_proof) {
+  const bool less = std::lexicographical_compare(
+      value.begin(), value.end(), min_value_.begin(), min_value_.end());
+  const bool equal = value.size() == min_value_.size() &&
+                     std::equal(value.begin(), value.end(),
+                                min_value_.begin());
+  if (min_value_.empty() || less || (equal && origin < min_origin_)) {
+    min_value_.assign(value.begin(), value.end());
     min_origin_ = origin;
-    min_origin_proof_ = origin_proof;
+    min_origin_proof_.assign(origin_proof.begin(), origin_proof.end());
   }
 }
 
+bool WhpCoin::mark_seen(std::vector<bool>& seen, crypto::ProcessId from) {
+  // Equivalent of set::insert().second; senders outside [0, n) (possible
+  // only in harnesses that size params.n below the simulation) grow the
+  // bitmap rather than being dropped, matching the old std::set.
+  if (from >= seen.size()) seen.resize(from + 1, false);
+  if (seen[from]) return false;
+  seen[from] = true;
+  return true;
+}
+
 void WhpCoin::start(sim::Context& ctx) {
-  auto first = cfg_.sampler->sample(ctx.self(), first_seed());
-  auto second = cfg_.sampler->sample(ctx.self(), second_seed());
+  auto first = cfg_.sampler->sample(ctx.self(), first_seed_);
+  auto second = cfg_.sampler->sample(ctx.self(), second_seed_);
   in_first_ = first.sampled;
   in_second_ = second.sampled;
   first_election_proof_ = std::move(first.proof);
@@ -74,18 +96,25 @@ void WhpCoin::start(sim::Context& ctx) {
 
   if (in_first_) {
     crypto::VrfOutput out =
-        cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input());
+        cfg_.vrf->eval(cfg_.registry->sk_of(ctx.self()), vrf_input_);
     // A first-committee member seeds its own v_i (line 3).
     fold_min(out.value, ctx.self(), out.proof);
     Wire wire{out.value, ctx.self(), out.proof, first_election_proof_};
-    ctx.broadcast(cfg_.tag + "/first", wire.encode(), kWhpCoinMessageWords);
+    ctx.broadcast(tag_first_, wire.encode(), kWhpCoinMessageWords);
   }
 }
 
 bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
-  bool is_first = msg.tag == cfg_.tag + "/first";
-  bool is_second = msg.tag == cfg_.tag + "/second";
+  const bool is_first = msg.tag == tag_first_;
+  const bool is_second = msg.tag == tag_second_;
   if (!is_first && !is_second) return false;
+
+  // Fast discard: nothing below mutates state once the coin is done, and
+  // firsts only matter to second-committee consumers (line 7). Returning
+  // before the decode and the two verifications is observably identical
+  // — every later path for these cases returns true with no state change
+  // — and spares most processes the per-message hash work.
+  if (is_first ? (!in_second_ || done_) : done_) return true;
 
   Wire wire;
   if (!Wire::decode(msg.payload, wire)) return true;
@@ -93,34 +122,34 @@ bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (is_first && wire.origin != msg.from) return true;
 
   // The sender must prove membership in the phase's committee…
-  const std::string& seed = is_first ? first_seed() : second_seed();
+  const std::string& seed = is_first ? first_seed_ : second_seed_;
   if (!cfg_.sampler->committee_val(seed, msg.from, wire.election_proof))
     return true;
   // …and the carried value must be the originator's honest VRF output.
-  crypto::VrfOutput out{wire.value, wire.origin_proof};
-  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input(), out))
+  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input_,
+                        wire.value, wire.origin_proof))
     return true;
 
   if (is_first) {
-    // Only second-committee members consume firsts (line 7).
-    if (!in_second_ || done_) return true;
-    if (!first_set_.insert(msg.from).second) return true;
+    if (!mark_seen(first_seen_, msg.from)) return true;
+    ++first_count_;
     fold_min(wire.value, wire.origin, wire.origin_proof);
-    if (!sent_second_ && first_set_.size() == cfg_.params.W) {
+    if (!sent_second_ && first_count_ == cfg_.params.W) {
       sent_second_ = true;
-      first_snapshot_ = first_set_;
+      for (crypto::ProcessId p = 0; p < first_seen_.size(); ++p)
+        if (first_seen_[p]) first_snapshot_.insert(first_snapshot_.end(), p);
       Wire relay{min_value_, min_origin_, min_origin_proof_,
                  second_election_proof_};
-      ctx.broadcast(cfg_.tag + "/second", relay.encode(),
-                    kWhpCoinMessageWords);
+      ctx.broadcast(tag_second_, relay.encode(), kWhpCoinMessageWords);
     }
     return true;
   }
 
   // <second>: every process participates in the final wait (lines 13–17).
-  if (done_ || !second_set_.insert(msg.from).second) return true;
+  if (!mark_seen(second_seen_, msg.from)) return true;
+  ++second_count_;
   fold_min(wire.value, wire.origin, wire.origin_proof);
-  if (second_set_.size() == cfg_.params.W) {
+  if (second_count_ == cfg_.params.W) {
     done_ = true;
     output_ = min_value_.back() & 1;
     if (on_done_) on_done_(output_);

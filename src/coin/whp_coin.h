@@ -16,6 +16,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "coin/coin_protocol.h"
 #include "committee/params.h"
@@ -60,14 +61,21 @@ class WhpCoin final : public CoinProtocol {
  private:
   struct Wire;
 
-  Bytes vrf_input() const;
-  std::string first_seed() const { return cfg_.tag + "/first"; }
-  std::string second_seed() const { return cfg_.tag + "/second"; }
-  void fold_min(const Bytes& value, crypto::ProcessId origin,
-                const Bytes& origin_proof);
+  void fold_min(BytesView value, crypto::ProcessId origin,
+                BytesView origin_proof);
+  bool mark_seen(std::vector<bool>& seen, crypto::ProcessId from);
 
   Config cfg_;
   DoneFn on_done_;
+
+  // Precomputed at construction so handle() matches tags by integer id
+  // and verifies against cached seed/input bytes — zero allocations per
+  // delivered message.
+  sim::Tag tag_first_;
+  sim::Tag tag_second_;
+  std::string first_seed_;
+  std::string second_seed_;
+  Bytes vrf_input_;
 
   bool in_first_ = false;
   bool in_second_ = false;
@@ -77,9 +85,13 @@ class WhpCoin final : public CoinProtocol {
   Bytes min_value_;  // empty encodes the paper's v_i = ∞
   crypto::ProcessId min_origin_ = 0;
   Bytes min_origin_proof_;
-  std::set<crypto::ProcessId> first_set_;
-  std::set<crypto::ProcessId> first_snapshot_;  // first_set_ at second-send
-  std::set<crypto::ProcessId> second_set_;
+  // Per-sender dedup bitmaps + counts (replacing std::set: no node
+  // allocation per accepted message).
+  std::vector<bool> first_seen_;
+  std::vector<bool> second_seen_;
+  std::size_t first_count_ = 0;
+  std::size_t second_count_ = 0;
+  std::set<crypto::ProcessId> first_snapshot_;  // first set at second-send
   bool sent_second_ = false;
   bool done_ = false;
   int output_ = 0;

@@ -34,18 +34,19 @@ Sampler::Election Sampler::sample(ProcessId i, const std::string& seed) const {
 bool Sampler::committee_val(const std::string& seed, ProcessId i,
                             BytesView proof) const {
   if (!registry_->has(i)) return false;
-  crypto::VrfOutput out;
+  BytesView value, vrf_proof;
   try {
     Reader r(proof);
-    out.value = r.blob();
-    out.proof = r.blob();
+    value = r.blob_view();
+    vrf_proof = r.blob_view();
     r.done();
   } catch (const CodecError&) {
     return false;
   }
-  if (out.value.size() < 8) return false;
-  if (!vrf_->verify(registry_->pk_of(i), vrf_input(seed), out)) return false;
-  return crypto::vrf_value_as_unit_double(out.value) < lambda_over_n_;
+  if (value.size() < 8) return false;
+  if (!vrf_->verify(registry_->pk_of(i), vrf_input(seed), value, vrf_proof))
+    return false;
+  return crypto::vrf_value_as_unit_double(value) < lambda_over_n_;
 }
 
 CachingSampler::CachingSampler(

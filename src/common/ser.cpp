@@ -64,6 +64,14 @@ Bytes Reader::blob() {
   return out;
 }
 
+BytesView Reader::blob_view() {
+  std::uint32_t len = u32();
+  need(len);
+  BytesView out = data_.subspan(pos_, len);
+  pos_ += len;
+  return out;
+}
+
 std::string Reader::str() {
   Bytes b = blob();
   return std::string(b.begin(), b.end());

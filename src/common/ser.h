@@ -42,6 +42,11 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
   Bytes blob();
+  /// Like blob(), but returns a view into the underlying buffer instead
+  /// of copying. Valid only while that buffer outlives the view — hot
+  /// paths decode, verify, and drop the view before the message goes
+  /// away.
+  BytesView blob_view();
   std::string str();
 
   bool empty() const { return pos_ == data_.size(); }

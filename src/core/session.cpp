@@ -18,16 +18,16 @@ class SlotWordObserver final : public sim::Observer {
 
   void on_send(const sim::Message& msg, bool sender_correct) override {
     if (!sender_correct) return;
-    // Tags look like "slot<k>/..."; parse k.
+    // Tags look like "slot<k>/..."; parse k off the resolved string.
+    const std::string& tag = msg.tag.str();
     constexpr std::size_t kPrefixLen = 4;  // "slot"
-    if (msg.tag.size() <= kPrefixLen ||
-        msg.tag.compare(0, kPrefixLen, "slot") != 0)
+    if (tag.size() <= kPrefixLen || tag.compare(0, kPrefixLen, "slot") != 0)
       return;
     std::size_t k = 0;
     std::size_t i = kPrefixLen;
     bool any = false;
-    while (i < msg.tag.size() && msg.tag[i] >= '0' && msg.tag[i] <= '9') {
-      k = k * 10 + static_cast<std::size_t>(msg.tag[i] - '0');
+    while (i < tag.size() && tag[i] >= '0' && tag[i] <= '9') {
+      k = k * 10 + static_cast<std::size_t>(tag[i] - '0');
       ++i;
       any = true;
     }

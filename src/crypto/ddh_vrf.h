@@ -24,6 +24,7 @@ class DdhVrf final : public Vrf {
 
   VrfKeyPair keygen(Rng& rng) const override;
   VrfOutput eval(BytesView sk, BytesView input) const override;
+  using Vrf::verify;  // keep the base's view-based overload visible
   bool verify(BytesView pk, BytesView input,
               const VrfOutput& out) const override;
   std::size_t value_size() const override { return 32; }

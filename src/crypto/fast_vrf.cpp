@@ -32,10 +32,15 @@ VrfOutput FastVrf::eval(BytesView sk, BytesView input) const {
 
 bool FastVrf::verify(BytesView pk, BytesView input,
                      const VrfOutput& out) const {
+  return verify(pk, input, out.value, out.proof);
+}
+
+bool FastVrf::verify(BytesView pk, BytesView input, BytesView value,
+                     BytesView proof) const {
   auto sk = registry_->sk_for_pk(Bytes(pk.begin(), pk.end()));
   if (!sk) return false;  // not a registered participant
-  return ct_equal(out.value, tagged_mac(*sk, 0x01, input)) &&
-         ct_equal(out.proof, tagged_mac(*sk, 0x02, input));
+  return ct_equal(value, tagged_mac(*sk, 0x01, input)) &&
+         ct_equal(proof, tagged_mac(*sk, 0x02, input));
 }
 
 }  // namespace coincidence::crypto

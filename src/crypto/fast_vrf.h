@@ -27,6 +27,8 @@ class FastVrf final : public Vrf {
   VrfOutput eval(BytesView sk, BytesView input) const override;
   bool verify(BytesView pk, BytesView input,
               const VrfOutput& out) const override;
+  bool verify(BytesView pk, BytesView input, BytesView value,
+              BytesView proof) const override;
   std::size_t value_size() const override { return 32; }
   const char* name() const override { return "fast-vrf"; }
 

@@ -44,6 +44,16 @@ class Vrf {
   virtual bool verify(BytesView pk, BytesView input,
                       const VrfOutput& out) const = 0;
 
+  /// View-based variant for hot paths: verifies (y, π) straight out of a
+  /// decoded wire buffer without materialising a VrfOutput. The default
+  /// copies into owned buffers; backends override it to skip the copies.
+  virtual bool verify(BytesView pk, BytesView input, BytesView value,
+                      BytesView proof) const {
+    return verify(pk, input,
+                  VrfOutput{Bytes(value.begin(), value.end()),
+                            Bytes(proof.begin(), proof.end())});
+  }
+
   /// Length in bytes of the output value y.
   virtual std::size_t value_size() const = 0;
 

@@ -39,11 +39,12 @@ ReliableChannel::ReliableChannel(ReliableChannelConfig cfg, DeliverFn deliver)
 }
 
 void ReliableChannel::send(sim::Context& ctx, sim::ProcessId to,
-                           std::string tag, Bytes payload, std::size_t words) {
+                           sim::Tag tag, SharedBytes payload,
+                           std::size_t words) {
   const std::uint64_t seq = next_seq_[to]++;
   Outgoing out;
   out.to = to;
-  out.frame = encode_data(seq, tag, words, payload);
+  out.frame = SharedBytes(encode_data(seq, tag.str(), words, payload));
   out.words = words + 1;  // +1 word for the seq/length header
   out.rto = cfg_.initial_rto;
   out.due = ctx.now() + out.rto;
@@ -52,8 +53,8 @@ void ReliableChannel::send(sim::Context& ctx, sim::ProcessId to,
   arm_timer(ctx);
 }
 
-void ReliableChannel::broadcast(sim::Context& ctx, std::string tag,
-                                Bytes payload, std::size_t words) {
+void ReliableChannel::broadcast(sim::Context& ctx, sim::Tag tag,
+                                SharedBytes payload, std::size_t words) {
   for (sim::ProcessId to = 0; to < ctx.n(); ++to) {
     send(ctx, to, tag, payload, words);
   }
@@ -75,7 +76,7 @@ bool ReliableChannel::handle_data(sim::Context& ctx, const sim::Message& msg) {
     seq = r.u64();
     inner_tag = r.str();
     inner_words = r.u64();
-    payload = r.blob();
+    payload = r.blob();  // owned copy: the upcall payload outlives the frame
     r.done();
   } catch (const CodecError&) {
     return true;  // malformed frame from a Byzantine peer: consume, no ack
@@ -94,7 +95,7 @@ bool ReliableChannel::handle_data(sim::Context& ctx, const sim::Message& msg) {
 
   ++delivered_;
   if (deliver_) {
-    deliver_(msg.from, inner_tag, payload,
+    deliver_(msg.from, sim::Tag(inner_tag), SharedBytes(std::move(payload)),
              static_cast<std::size_t>(inner_words));
   }
   return true;

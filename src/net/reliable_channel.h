@@ -49,21 +49,21 @@ struct ReliableChannelConfig {
 class ReliableChannel {
  public:
   /// Exactly-once upcall: the unwrapped payload as the peer sent it.
-  using DeliverFn =
-      std::function<void(sim::ProcessId from, const std::string& tag,
-                         const Bytes& payload, std::size_t words)>;
+  using DeliverFn = std::function<void(sim::ProcessId from, sim::Tag tag,
+                                       SharedBytes payload,
+                                       std::size_t words)>;
 
   ReliableChannel(ReliableChannelConfig cfg, DeliverFn deliver);
 
   /// Sends `payload` to `to` with exactly-once semantics. `words` is the
   /// inner message's §2 word count; the frame charges one extra word for
   /// the sequence/length header, and each ack costs one word.
-  void send(sim::Context& ctx, sim::ProcessId to, std::string tag,
-            Bytes payload, std::size_t words);
+  void send(sim::Context& ctx, sim::ProcessId to, sim::Tag tag,
+            SharedBytes payload, std::size_t words);
 
   /// send() to every process. The self-copy is framed too (it traverses
   /// the self-queue, which is reliable, so it acks immediately).
-  void broadcast(sim::Context& ctx, std::string tag, Bytes payload,
+  void broadcast(sim::Context& ctx, sim::Tag tag, SharedBytes payload,
                  std::size_t words);
 
   /// Offers a delivered message; true iff it was a channel frame (data
@@ -89,7 +89,9 @@ class ReliableChannel {
  private:
   struct Outgoing {
     sim::ProcessId to = 0;
-    Bytes frame;            // encoded data frame, reused on retransmit
+    // Encoded data frame; retransmissions re-send this exact SharedBytes,
+    // so every copy on the wire aliases one buffer.
+    SharedBytes frame;
     std::size_t words = 0;  // frame word count (inner + header)
     std::uint64_t rto = 0;
     std::uint64_t due = 0;
@@ -110,8 +112,9 @@ class ReliableChannel {
 
   ReliableChannelConfig cfg_;
   DeliverFn deliver_;
-  std::string dat_tag_;
-  std::string ack_tag_;
+  // Interned once at construction: handle() compares ids, never strings.
+  sim::Tag dat_tag_;
+  sim::Tag ack_tag_;
 
   // std::map keys (to, seq): deterministic iteration order — retransmit
   // order must be a pure function of the run, like everything else.

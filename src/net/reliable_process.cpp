@@ -15,19 +15,19 @@ class ReliableProcess::ChannelContext final : public sim::Context {
   sim::ProcessId self() const override { return outer().self(); }
   std::size_t n() const override { return outer().n(); }
 
-  void send(sim::ProcessId to, std::string tag, Bytes payload,
+  void send(sim::ProcessId to, sim::Tag tag, SharedBytes payload,
             std::size_t words) override {
     if (to == self()) {
       // The self-queue never drops or duplicates; framing it would only
       // add a useless ack round-trip.
-      outer().send(to, std::move(tag), std::move(payload), words);
+      outer().send(to, tag, std::move(payload), words);
       return;
     }
-    host_->channel_.send(outer(), to, std::move(tag), std::move(payload),
-                         words);
+    host_->channel_.send(outer(), to, tag, std::move(payload), words);
   }
 
-  void broadcast(std::string tag, Bytes payload, std::size_t words) override {
+  void broadcast(sim::Tag tag, SharedBytes payload,
+                 std::size_t words) override {
     for (sim::ProcessId to = 0; to < n(); ++to) {
       send(to, tag, payload, words);
     }
@@ -57,13 +57,13 @@ ReliableProcess::ReliableProcess(std::unique_ptr<sim::Process> inner,
                                  ReliableChannelConfig cfg)
     : inner_(std::move(inner)),
       channel_(std::move(cfg),
-               [this](sim::ProcessId from, const std::string& tag,
-                      const Bytes& payload, std::size_t words) {
+               [this](sim::ProcessId from, sim::Tag tag, SharedBytes payload,
+                      std::size_t words) {
                  sim::Message unwrapped;
                  unwrapped.from = from;
                  unwrapped.to = outer_->self();
                  unwrapped.tag = tag;
-                 unwrapped.payload = payload;
+                 unwrapped.payload = std::move(payload);
                  unwrapped.words = words;
                  unwrapped.causal_depth = outer_->causal_depth();
                  inner_->on_message(*shim_, unwrapped);

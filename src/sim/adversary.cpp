@@ -134,7 +134,7 @@ std::size_t CommitteeHunterAdversary::schedule(const PendingPool& pending,
 
 void CommitteeHunterAdversary::observe_delivery(const Message& msg) {
   if (!tag_substring_.empty() &&
-      msg.tag.find(tag_substring_) == std::string::npos)
+      msg.tag.str().find(tag_substring_) == std::string::npos)
     return;
   if (requested_.insert(msg.from).second) queue_.push_back(msg.from);
 }
@@ -179,7 +179,7 @@ std::size_t CoinBiasAdversary::schedule(const PendingPool& pending,
 }
 
 void CoinBiasAdversary::observe_pending_content(const Message& msg) {
-  if (msg.tag.find(tag_substring_) == std::string::npos) return;
+  if (msg.tag.str().find(tag_substring_) == std::string::npos) return;
   // Coin messages serialize the VRF value as their first blob; the coin
   // outputs the LSB of the minimum value, i.e. the value's last byte & 1.
   try {

@@ -12,9 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
+#include <vector>
 
+#include "sim/flat_map64.h"
 #include "sim/message.h"
 
 namespace coincidence::sim {
@@ -64,24 +65,61 @@ struct LinkPlan {
   }
 };
 
+/// Sparse per-(from, to) LinkPlan table on a flat u64-keyed hash: the
+/// per-send `link()` lookup allocates nothing and touches one probe run
+/// instead of walking a red-black tree. operator[] keeps the legacy
+/// `overrides[{from, to}] = plan` configuration syntax.
+class LinkOverrides {
+ public:
+  LinkPlan& operator[](std::pair<ProcessId, ProcessId> key) {
+    std::size_t* idx = index_.find(pack(key.first, key.second));
+    if (idx == nullptr) {
+      index_[pack(key.first, key.second)] = plans_.size();
+      plans_.emplace_back();
+      return plans_.back();
+    }
+    return plans_[*idx];
+  }
+
+  const LinkPlan* find(ProcessId from, ProcessId to) const {
+    const std::size_t* idx = index_.find(pack(from, to));
+    return idx == nullptr ? nullptr : &plans_[*idx];
+  }
+
+  bool empty() const { return plans_.empty(); }
+
+  /// All configured overrides are reliable (order-insensitive fold).
+  bool all_reliable() const {
+    for (const LinkPlan& plan : plans_)
+      if (!plan.reliable()) return false;
+    return true;
+  }
+
+ private:
+  static std::uint64_t pack(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  FlatMap64<std::size_t> index_;
+  std::vector<LinkPlan> plans_;
+};
+
 /// The network's fault configuration: one default LinkPlan plus optional
 /// per-(from, to) overrides. Self-links (from == to) are exempt — local
 /// delivery models an in-process queue, not a network hop.
 struct NetworkProfile {
   LinkPlan default_link;
-  std::map<std::pair<ProcessId, ProcessId>, LinkPlan> overrides;
+  LinkOverrides overrides;
 
   const LinkPlan& link(ProcessId from, ProcessId to) const {
-    auto it = overrides.find({from, to});
-    return it == overrides.end() ? default_link : it->second;
+    if (overrides.empty()) return default_link;
+    const LinkPlan* plan = overrides.find(from, to);
+    return plan == nullptr ? default_link : *plan;
   }
 
   /// True when no link anywhere can misbehave.
   bool reliable() const {
-    if (!default_link.reliable()) return false;
-    for (const auto& [key, plan] : overrides)
-      if (!plan.reliable()) return false;
-    return true;
+    return default_link.reliable() && overrides.all_reliable();
   }
 
   static NetworkProfile lossless() { return {}; }

@@ -6,12 +6,17 @@
 // a finite-domain value), and (d) causal bookkeeping used both to measure
 // the paper's "duration" (longest causal message chain) and to enforce
 // the delayed-adaptive adversary's visibility rule.
+//
+// Zero-copy substrate (ISSUE 3): the tag is an interned TagId and the
+// payload a refcounted immutable buffer, so copying a Message — fan-out,
+// duplication, replay history — allocates nothing and shares the one
+// encoded buffer. See sim/tag_table.h and common/shared_bytes.h.
 #pragma once
 
 #include <cstdint>
-#include <string>
 
-#include "common/bytes.h"
+#include "common/shared_bytes.h"
+#include "sim/tag_table.h"
 
 namespace coincidence::sim {
 
@@ -21,8 +26,8 @@ struct Message {
   std::uint64_t id = 0;        // unique per simulation, assigned on send
   ProcessId from = 0;
   ProcessId to = 0;
-  std::string tag;             // routing key, e.g. "ba/3/coin/first"
-  Bytes payload;
+  Tag tag;                     // routing key, e.g. "ba/3/coin/first"
+  SharedBytes payload;
   std::size_t words = 0;       // paper word count of this message
 
   // Causality: depth of the send event = 1 + max depth the sender had
@@ -47,7 +52,7 @@ struct MessageMeta {
   std::uint64_t id = 0;
   ProcessId from = 0;
   ProcessId to = 0;
-  std::string tag;
+  Tag tag;
   std::size_t words = 0;
   std::uint64_t send_seq = 0;
   std::uint64_t age = 0;  // deliveries elapsed since this was enqueued

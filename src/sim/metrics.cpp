@@ -15,13 +15,27 @@ void Metrics::record_send(const Message& msg, bool sender_correct) {
     return;
   }
   correct_words_ += msg.words;
+  const TagId id = msg.tag.id();
+  if (id >= words_by_tag_id_.size()) words_by_tag_id_.resize(id + 1, 0);
+  words_by_tag_id_[id] += msg.words;
+}
+
+std::map<std::string, std::uint64_t> Metrics::words_by_tag() const {
   // Bucket by the final tag component — the message *kind* (init, echo,
   // ok, first, second, bval, ...) — so harnesses can split cost per
-  // protocol phase regardless of instance/round prefixes.
-  auto slash = msg.tag.rfind('/');
-  std::string bucket =
-      slash == std::string::npos ? msg.tag : msg.tag.substr(slash + 1);
-  words_by_tag_[bucket] += msg.words;
+  // protocol phase regardless of instance/round prefixes. Done at view
+  // time: the string-keyed map makes the result independent of TagId
+  // assignment order.
+  std::map<std::string, std::uint64_t> view;
+  for (TagId id = 0; id < words_by_tag_id_.size(); ++id) {
+    if (words_by_tag_id_[id] == 0) continue;
+    const std::string& tag = TagTable::instance().str(id);
+    auto slash = tag.rfind('/');
+    std::string bucket =
+        slash == std::string::npos ? tag : tag.substr(slash + 1);
+    view[bucket] += words_by_tag_id_[id];
+  }
+  return view;
 }
 
 void Metrics::record_link_drop(const Message& msg) {
@@ -45,7 +59,7 @@ void Metrics::reset() {
   link_replays_ = 0;
   retransmits_ = 0;
   retransmit_words_ = 0;
-  words_by_tag_.clear();
+  words_by_tag_id_.clear();
 }
 
 }  // namespace coincidence::sim

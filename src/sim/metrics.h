@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/message.h"
 
@@ -52,10 +53,11 @@ class Metrics {
 
   /// Correct-sender words bucketed by the final tag component (the
   /// message kind: init/echo/ok/first/...) — lets the benches split cost
-  /// per protocol phase.
-  const std::map<std::string, std::uint64_t>& words_by_tag() const {
-    return words_by_tag_;
-  }
+  /// per protocol phase. The hot path accumulates into a flat vector
+  /// indexed by TagId; this view resolves and buckets the strings on
+  /// demand, so it is identical across runs whatever order tags were
+  /// interned in.
+  std::map<std::string, std::uint64_t> words_by_tag() const;
 
   void reset();
 
@@ -71,7 +73,8 @@ class Metrics {
   std::uint64_t link_replays_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t retransmit_words_ = 0;
-  std::map<std::string, std::uint64_t> words_by_tag_;
+  // Correct-sender words per full tag, indexed by TagId (grown lazily).
+  std::vector<std::uint64_t> words_by_tag_id_;
 };
 
 }  // namespace coincidence::sim

@@ -9,15 +9,28 @@ void PendingPool::push(Message msg, std::uint64_t tick) {
   index_of_[id] = msgs_.size();
   msgs_.push_back(std::move(msg));
   ticks_.push_back(tick);
+  // Stale heap entries (taken messages skipped lazily by oldest_index)
+  // would otherwise accumulate across a long run; rebuild from the live
+  // set once they dominate. Ticks are monotone, so the rebuilt heap
+  // orders identically to the lazily-cleaned one.
+  if (oldest_heap_.size() > 2 * (msgs_.size() + 8)) compact_heap();
   oldest_heap_.push({tick, id});
+}
+
+void PendingPool::compact_heap() const {
+  std::vector<HeapEntry> live;
+  live.reserve(msgs_.size());
+  for (std::size_t i = 0; i < msgs_.size(); ++i)
+    live.push_back({ticks_[i], msgs_[i].id});
+  oldest_heap_ = Heap(std::greater<HeapEntry>(), std::move(live));
 }
 
 std::size_t PendingPool::oldest_index() const {
   COIN_REQUIRE(!msgs_.empty(), "oldest_index on empty pool");
   for (;;) {
     const HeapEntry& top = oldest_heap_.top();
-    auto it = index_of_.find(top.second);
-    if (it != index_of_.end()) return it->second;
+    const std::size_t* idx = index_of_.find(top.second);
+    if (idx != nullptr) return *idx;
     oldest_heap_.pop();  // stale entry for an already-taken message
   }
 }

@@ -25,13 +25,16 @@ class Context {
 
   /// Point-to-point send. `words` is the paper word count of the message.
   /// Sending to self is free on the wire but still dispatched (after the
-  /// current callback returns, to avoid reentrancy).
-  virtual void send(ProcessId to, std::string tag, Bytes payload,
+  /// current callback returns, to avoid reentrancy). Tag and SharedBytes
+  /// convert implicitly from std::string/Bytes; hot paths pass cached
+  /// Tag values and hand the payload over once.
+  virtual void send(ProcessId to, Tag tag, SharedBytes payload,
                     std::size_t words) = 0;
 
   /// Send to all n processes (including self). Word metering charges
   /// n * words, matching the paper's "send to all processes" accounting.
-  virtual void broadcast(std::string tag, Bytes payload,
+  /// The payload buffer is shared across all n enqueued copies.
+  virtual void broadcast(Tag tag, SharedBytes payload,
                          std::size_t words) = 0;
 
   /// A send that repeats an earlier payload to repair link loss (used by
@@ -39,9 +42,9 @@ class Context {
   /// its words to the retransmission-overhead bucket, keeping the §2
   /// word-complexity measure comparable across lossy and reliable runs.
   /// Default: an ordinary send (for harness Contexts without metering).
-  virtual void send_retransmission(ProcessId to, std::string tag,
-                                   Bytes payload, std::size_t words) {
-    send(to, std::move(tag), std::move(payload), words);
+  virtual void send_retransmission(ProcessId to, Tag tag,
+                                   SharedBytes payload, std::size_t words) {
+    send(to, tag, std::move(payload), words);
   }
 
   /// Per-process deterministic randomness (local coins, Ben-Or baseline).

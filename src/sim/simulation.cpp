@@ -6,6 +6,13 @@
 
 namespace coincidence::sim {
 
+namespace {
+/// replay_history_ key: one u64 per directed link.
+std::uint64_t link_key(ProcessId from, ProcessId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
 // ---------------------------------------------------------------- Slot --
 
 struct Simulation::Slot {
@@ -35,19 +42,21 @@ class Simulation::SlotContext final : public Context {
   ProcessId self() const override { return id_; }
   std::size_t n() const override { return sim_->cfg_.n; }
 
-  void send(ProcessId to, std::string tag, Bytes payload,
+  void send(ProcessId to, Tag tag, SharedBytes payload,
             std::size_t words) override {
-    sim_->enqueue_send(id_, to, std::move(tag), std::move(payload), words);
+    sim_->enqueue_send(id_, to, tag, std::move(payload), words);
   }
 
-  void broadcast(std::string tag, Bytes payload, std::size_t words) override {
+  void broadcast(Tag tag, SharedBytes payload, std::size_t words) override {
+    // Each enqueued copy shares `payload`'s buffer: n refcount bumps,
+    // zero deep copies.
     for (ProcessId to = 0; to < sim_->cfg_.n; ++to)
       sim_->enqueue_send(id_, to, tag, payload, words);
   }
 
-  void send_retransmission(ProcessId to, std::string tag, Bytes payload,
+  void send_retransmission(ProcessId to, Tag tag, SharedBytes payload,
                            std::size_t words) override {
-    sim_->enqueue_send(id_, to, std::move(tag), std::move(payload), words,
+    sim_->enqueue_send(id_, to, tag, std::move(payload), words,
                        /*retransmit=*/true);
   }
 
@@ -80,7 +89,10 @@ class Simulation::SlotContext final : public Context {
 // run without link faults — enabling a NetworkProfile must not change
 // anything else about the run.
 Simulation::Simulation(SimConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), link_rng_(cfg.seed ^ 0x6c696e6b5f726e67ULL) {
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      link_rng_(cfg.seed ^ 0x6c696e6b5f726e67ULL),
+      network_reliable_(cfg.network.reliable()) {
   COIN_REQUIRE(cfg_.n > 0, "Simulation needs at least one process");
   if (cfg_.fairness_bound == 0) cfg_.fairness_bound = 16 * cfg_.n;
   adversary_ = std::make_unique<RandomAdversary>();
@@ -157,8 +169,8 @@ std::uint64_t Simulation::depth_of(ProcessId id) const {
   return slots_[id]->depth;
 }
 
-void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
-                              Bytes payload, std::size_t words,
+void Simulation::enqueue_send(ProcessId from, ProcessId to, Tag tag,
+                              SharedBytes payload, std::size_t words,
                               bool retransmit) {
   COIN_REQUIRE(to < cfg_.n, "send: bad destination");
   Slot& sender = *slots_[from];
@@ -176,7 +188,9 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
         break;
       }
       case FaultPlan::Mode::kJunk:
-        payload = sender.rng.next_bytes(payload.size());
+        // Fresh junk per destination (broadcast fan-out reaches here once
+        // per receiver), exactly as the pre-shared-payload substrate drew.
+        payload = SharedBytes(sender.rng.next_bytes(payload.size()));
         break;
       case FaultPlan::Mode::kCorrect:
         break;
@@ -187,7 +201,7 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
   msg.id = next_msg_id_++;
   msg.from = from;
   msg.to = to;
-  msg.tag = std::move(tag);
+  msg.tag = tag;
   msg.payload = std::move(payload);
   msg.words = words;
   msg.causal_depth = sender.depth + 1;
@@ -214,6 +228,12 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, std::string tag,
 // reliable, so (a) runs are replayable and (b) reliable runs are
 // byte-identical to pre-link-fault behaviour.
 void Simulation::push_through_link(Message msg) {
+  // Fully-reliable networks (the common case) skip the per-link plan
+  // lookup entirely — one cached bool instead of a hash probe per send.
+  if (network_reliable_) {
+    pending_.push(std::move(msg), deliveries_);
+    return;
+  }
   const LinkPlan& plan = cfg_.network.link(msg.from, msg.to);
   if (plan.reliable()) {
     pending_.push(std::move(msg), deliveries_);
@@ -244,11 +264,13 @@ void Simulation::push_through_link(Message msg) {
   // Replay is keyed to send *activity* on the link, not to this packet's
   // fate: a dropped fresh packet can still shake loose a stale one.
   if (plan.replay_p > 0.0 && link_rng_.next_bool(plan.replay_p)) {
-    auto it = replay_history_.find({msg.from, msg.to});
-    if (it != replay_history_.end() && !it->second.empty()) {
+    const std::deque<Message>* history =
+        replay_history_.find(link_key(msg.from, msg.to));
+    if (history != nullptr && !history->empty()) {
+      // The replayed copy aliases the original payload buffer.
       Message replay =
-          it->second[static_cast<std::size_t>(
-              link_rng_.next_below(it->second.size()))];
+          (*history)[static_cast<std::size_t>(
+              link_rng_.next_below(history->size()))];
       replay.id = next_msg_id_++;
       metrics_.record_link_replay();
       for (auto& obs : observers_) obs->on_link_duplicate(replay);
@@ -257,16 +279,24 @@ void Simulation::push_through_link(Message msg) {
   }
 }
 
+const std::deque<Message>* Simulation::replay_history_of(ProcessId from,
+                                                         ProcessId to) const {
+  return replay_history_.find(link_key(from, to));
+}
+
 void Simulation::remember_delivered(const Message& msg) {
+  if (network_reliable_) return;
   const LinkPlan& plan = cfg_.network.link(msg.from, msg.to);
   if (plan.replay_p <= 0.0 || plan.replay_window == 0) return;
-  auto& history = replay_history_[{msg.from, msg.to}];
+  // The stored copy shares msg's payload buffer, so the history holds
+  // O(window) headers per link, not O(window) payload clones.
+  auto& history = replay_history_[link_key(msg.from, msg.to)];
   history.push_back(msg);
   while (history.size() > plan.replay_window) history.pop_front();
 }
 
-void Simulation::inject(ProcessId from, ProcessId to, std::string tag,
-                        Bytes payload, std::size_t words) {
+void Simulation::inject(ProcessId from, ProcessId to, Tag tag,
+                        SharedBytes payload, std::size_t words) {
   COIN_REQUIRE(from < slots_.size() && to < cfg_.n, "inject: bad ids");
   COIN_REQUIRE(slots_[from]->corrupted,
                "inject: only corrupted processes can be impersonated");
@@ -274,7 +304,7 @@ void Simulation::inject(ProcessId from, ProcessId to, std::string tag,
   msg.id = next_msg_id_++;
   msg.from = from;
   msg.to = to;
-  msg.tag = std::move(tag);
+  msg.tag = tag;
   msg.payload = std::move(payload);
   msg.words = words;
   msg.causal_depth = slots_[from]->depth + 1;
@@ -408,12 +438,18 @@ bool Simulation::step() {
   apply_corruptions();
 
   // Fairness override: the oldest message must go through once bypassed
-  // fairness_bound times; otherwise the adversary chooses freely.
-  std::size_t chosen;
-  std::size_t oldest = pending_.oldest_index();
-  if (deliveries_ - pending_.enqueue_tick(oldest) >= cfg_.fairness_bound) {
-    chosen = oldest;
-  } else {
+  // fairness_bound times; otherwise the adversary chooses freely. The
+  // cheap tick lower bound screens out the common case — if even the
+  // stalest heap entry is too young, the precise (stale-popping) oldest
+  // lookup cannot trigger either, so it is skipped entirely.
+  std::size_t chosen = static_cast<std::size_t>(-1);
+  if (deliveries_ - pending_.oldest_tick_lower_bound() >=
+      cfg_.fairness_bound) {
+    std::size_t oldest = pending_.oldest_index();
+    if (deliveries_ - pending_.enqueue_tick(oldest) >= cfg_.fairness_bound)
+      chosen = oldest;
+  }
+  if (chosen == static_cast<std::size_t>(-1)) {
     chosen = adversary_->schedule(pending_, rng_);
     COIN_REQUIRE(chosen < pending_.size(), "adversary chose bad index");
   }

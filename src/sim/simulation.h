@@ -26,6 +26,7 @@
 
 #include "sim/adversary.h"
 #include "sim/fault.h"
+#include "sim/flat_map64.h"
 #include "sim/link.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
@@ -95,7 +96,7 @@ class Simulation {
   /// Adversary-crafted message from a corrupted process (must already be
   /// corrupted — correct processes cannot be impersonated, modelling
   /// authenticated links).
-  void inject(ProcessId from, ProcessId to, std::string tag, Bytes payload,
+  void inject(ProcessId from, ProcessId to, Tag tag, SharedBytes payload,
               std::size_t words);
 
   /// Calls on_start on every process. Must be called exactly once.
@@ -125,14 +126,20 @@ class Simulation {
   /// Causal depth a process has observed (exposed for tests/metrics).
   std::uint64_t depth_of(ProcessId id) const;
 
+  /// Whitebox view for the payload-aliasing regression tests: the replay
+  /// ring recorded for the directed link from→to, or nullptr when that
+  /// link has no history. Entries share the delivered payload buffers.
+  const std::deque<Message>* replay_history_of(ProcessId from,
+                                               ProcessId to) const;
+
  private:
   struct Slot;       // per-process runtime state
   class SlotContext; // Context implementation bound to one slot
 
   void dispatch_to(ProcessId to, const Message& msg);
   void drain_self_queue(ProcessId id);
-  void enqueue_send(ProcessId from, ProcessId to, std::string tag,
-                    Bytes payload, std::size_t words,
+  void enqueue_send(ProcessId from, ProcessId to, Tag tag,
+                    SharedBytes payload, std::size_t words,
                     bool retransmit = false);
   void apply_corruptions();
 
@@ -149,6 +156,9 @@ class Simulation {
   SimConfig cfg_;
   Rng rng_;
   Rng link_rng_;  // dedicated stream: link faults never perturb scheduling
+  // Cached cfg_.network.reliable(): reliable runs (the common case) skip
+  // the per-send link-plan lookup and the per-delivery history check.
+  bool network_reliable_ = true;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unique_ptr<Adversary> adversary_;
   std::vector<std::shared_ptr<Observer>> observers_;
@@ -173,8 +183,10 @@ class Simulation {
   std::uint64_t timer_seq_ = 0;
 
   // Per-link ring of recently delivered messages: replay candidates.
-  std::map<std::pair<ProcessId, ProcessId>, std::deque<Message>>
-      replay_history_;
+  // Keyed (from << 32 | to) on a flat hash; the Message copies stored
+  // here share the delivered payload buffers (SharedBytes), so the
+  // history's resident cost is O(window * header) per lossy link.
+  FlatMap64<std::deque<Message>> replay_history_;
 };
 
 }  // namespace coincidence::sim

@@ -1,0 +1,53 @@
+#include "sim/tag_table.h"
+
+#include <ostream>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+
+TagTable& TagTable::instance() {
+  static TagTable table;
+  return table;
+}
+
+TagTable::TagTable() {
+  // Id 0 is the empty tag, so a default Tag resolves without interning.
+  intern(std::string_view{});
+}
+
+TagId TagTable::intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+
+  const std::uint32_t id = size_.load(std::memory_order_relaxed);
+  const std::size_t chunk_idx = id >> kChunkShift;
+  COIN_REQUIRE(chunk_idx < kMaxChunks, "TagTable: tag universe exhausted");
+  Chunk* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_idx].store(chunk, std::memory_order_relaxed);
+  }
+  std::string& stored = (*chunk)[id & (kChunkSize - 1)];
+  stored.assign(s);
+  index_.emplace(std::string_view(stored), id);
+  // Publish: readers that acquire size_ >= id+1 see the chunk pointer
+  // and the stored string.
+  size_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+const std::string& TagTable::str(TagId id) const {
+  COIN_REQUIRE(id < size_.load(std::memory_order_acquire),
+               "TagTable: unknown tag id");
+  const Chunk* chunk =
+      chunks_[id >> kChunkShift].load(std::memory_order_relaxed);
+  return (*chunk)[id & (kChunkSize - 1)];
+}
+
+std::ostream& operator<<(std::ostream& os, const Tag& tag) {
+  return os << tag.str();
+}
+
+}  // namespace coincidence::sim

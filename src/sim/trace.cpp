@@ -20,17 +20,19 @@ TraceRecorder::TraceRecorder(std::string tag_filter)
     : tag_filter_(std::move(tag_filter)) {}
 
 void TraceRecorder::on_send(const Message& msg, bool sender_correct) {
-  if (!tag_filter_.empty() && msg.tag.find(tag_filter_) == std::string::npos)
+  const std::string& tag = msg.tag.str();
+  if (!tag_filter_.empty() && tag.find(tag_filter_) == std::string::npos)
     return;
-  events_.push_back({Event::Kind::kSend, msg.id, msg.from, msg.to, msg.tag,
+  events_.push_back({Event::Kind::kSend, msg.id, msg.from, msg.to, tag,
                      msg.words, sender_correct});
 }
 
 void TraceRecorder::on_deliver(const Message& msg) {
-  if (!tag_filter_.empty() && msg.tag.find(tag_filter_) == std::string::npos)
+  const std::string& tag = msg.tag.str();
+  if (!tag_filter_.empty() && tag.find(tag_filter_) == std::string::npos)
     return;
   events_.push_back({Event::Kind::kDeliver, msg.id, msg.from, msg.to,
-                     msg.tag, msg.words, true});
+                     tag, msg.words, true});
 }
 
 void TraceRecorder::on_corrupt(ProcessId target, const FaultPlan& plan) {

@@ -23,7 +23,8 @@ class Pitcher final : public sim::Process {
       ctx.send(target_, "m/" + std::to_string(i), bytes_of("payload"), 2);
   }
   void on_message(sim::Context&, const sim::Message& msg) override {
-    if (msg.tag.rfind("m/", 0) == 0) ++got[msg.tag];
+    const std::string& tag = msg.tag.str();
+    if (tag.rfind("m/", 0) == 0) ++got[tag];
   }
 
   std::map<std::string, int> got;

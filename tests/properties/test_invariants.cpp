@@ -24,7 +24,7 @@ class SendCounter final : public sim::Observer {
     if (!sender_correct) return;
     // Broadcasts fan out into n point-to-point sends of one logical
     // message; count each logical broadcast once via the first recipient.
-    if (msg.to == 0) ++counts_[{msg.from, msg.tag}];
+    if (msg.to == 0) ++counts_[{msg.from, msg.tag.str()}];
   }
 
   /// Max broadcasts by any single correct sender under one tag.

@@ -33,9 +33,10 @@ class WordAuditor final : public sim::Observer {
 
   void on_send(const sim::Message& msg, bool sender_correct) override {
     if (!sender_correct) return;
-    auto slash = msg.tag.rfind('/');
+    const std::string& tag = msg.tag.str();
+    auto slash = tag.rfind('/');
     std::string kind =
-        slash == std::string::npos ? msg.tag : msg.tag.substr(slash + 1);
+        slash == std::string::npos ? tag : tag.substr(slash + 1);
     auto it = schedule_.find(kind);
     if (it == schedule_.end()) {
       unknown_kinds_.insert(kind);
@@ -43,7 +44,7 @@ class WordAuditor final : public sim::Observer {
     }
     ++audited_;
     if (msg.words != it->second)
-      mismatches_.push_back(msg.tag + ": declared " +
+      mismatches_.push_back(tag + ": declared " +
                             std::to_string(msg.words) + ", schedule " +
                             std::to_string(it->second));
   }

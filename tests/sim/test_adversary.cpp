@@ -19,7 +19,7 @@ class Recorder final : public Process {
       ctx.send(1, "m" + std::to_string(k), {}, 1);
   }
   void on_message(Context&, const Message& msg) override {
-    order.push_back(msg.tag);
+    order.push_back(msg.tag.str());
   }
   std::vector<std::string> order;
 };
@@ -263,7 +263,7 @@ TEST(Adversary, HeavyTailDelaysAFewMessagesALot) {
           ctx.send(1, "m" + std::to_string(k), {}, 1);
     }
     void on_message(Context&, const Message& msg) override {
-      order.push_back(msg.tag);
+      order.push_back(msg.tag.str());
     }
     std::vector<std::string> order;
   };

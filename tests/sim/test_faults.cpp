@@ -132,7 +132,7 @@ TEST(Faults, JunkIsSeedReproducible) {
       ctx.broadcast("v", Bytes(16, 0xab), 1);
     }
     void on_message(Context&, const Message& msg) override {
-      if (msg.from == 0) from_zero.push_back(msg.payload);
+      if (msg.from == 0) from_zero.push_back(msg.payload.to_bytes());
     }
     std::vector<Bytes> from_zero;
   };

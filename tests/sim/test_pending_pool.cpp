@@ -79,5 +79,28 @@ TEST(PendingPool, TakeBadIndexThrows) {
   EXPECT_THROW(pool.oldest_index(), PreconditionError);
 }
 
+TEST(PendingPool, HeapCompactionBoundsStaleEntries) {
+  // Churn a small live set through tens of thousands of push/take pairs:
+  // every take leaves a stale heap entry behind, so without compaction
+  // the heap would end ~20000 entries deep. The rebuild threshold caps
+  // it at 2*(live+8) before each push (+1 for the push itself, +2 for
+  // takes since the last push).
+  PendingPool pool;
+  std::size_t max_heap = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    pool.push(mk(i + 1, 0, 1, i), i);
+    if (pool.size() > 4) (void)pool.take(pool.oldest_index());
+    max_heap = std::max(max_heap, pool.heap_size());
+    ASSERT_LE(pool.heap_size(), 2 * (pool.size() + 8) + 3);
+  }
+  EXPECT_LT(max_heap, 64u);
+
+  // Rebuilds must not corrupt the oldest-message order.
+  std::uint64_t min_tick = ~0ULL;
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    min_tick = std::min(min_tick, pool.enqueue_tick(i));
+  EXPECT_EQ(pool.enqueue_tick(pool.oldest_index()), min_tick);
+}
+
 }  // namespace
 }  // namespace coincidence::sim
