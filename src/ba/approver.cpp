@@ -132,7 +132,7 @@ void Approver::maybe_ok(sim::Context& ctx, Value v) {
   ctx.broadcast(tag_ok_, w.take(), ok_words(cfg_.params.W));
 }
 
-bool Approver::handle_ok(sim::Context& /*ctx*/, const sim::Message& msg) {
+bool Approver::handle_ok(sim::Context& ctx, const sim::Message& msg) {
   if (done_) return true;
   Value v;
   BytesView election;
@@ -182,6 +182,10 @@ bool Approver::handle_ok(sim::Context& /*ctx*/, const sim::Message& msg) {
   ok_values_.insert(v);
   if (ok_senders_.size() == cfg_.params.W) {
     done_ = true;
+    // Output event: the vals set encoded as a bitmask (bit v for value v).
+    int mask = 0;
+    for (Value v : ok_values_) mask |= 1 << static_cast<int>(v);
+    ctx.note_decide(cfg_.tag, mask, 0);
     if (on_done_) on_done_(ok_values_);
   }
   return true;

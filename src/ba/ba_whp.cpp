@@ -94,6 +94,7 @@ void BaWhp::on_props(sim::Context& ctx, const std::set<Value>& props) {
     if (!decision_) {
       decision_ = static_cast<int>(v);
       decision_round_ = round_;
+      ctx.note_decide(cfg_.tag, *decision_, round_);
     }
   } else if (props.size() == 1 && *props.begin() == kBot) {
     est_ = static_cast<Value>(coin_value_);
@@ -104,6 +105,7 @@ void BaWhp::on_props(sim::Context& ctx, const std::set<Value>& props) {
   }
 
   ++round_;
+  ctx.note_round(round_);
   begin_round(ctx);
 }
 

@@ -121,6 +121,7 @@ void BenOr::check_progress(sim::Context& ctx) {
         if (!decision_) {
           decision_ = static_cast<int>(v);
           decision_round_ = round_;
+          ctx.note_decide(cfg_.tag, *decision_, round_);
         }
         x_ = v;
         moved = true;
@@ -135,6 +136,7 @@ void BenOr::check_progress(sim::Context& ctx) {
     if (!moved) x_ = static_cast<Value>(ctx.rng().next_below(2));
 
     ++round_;
+    ctx.note_round(round_);
     if ((decision_ && round_ > decision_round_ + cfg_.extra_rounds) ||
         round_ >= cfg_.max_rounds) {
       halted_ = true;

@@ -121,6 +121,7 @@ void Bracha::check_progress(sim::Context& ctx) {
           if (!decision_) {
             decision_ = v;
             decision_round_ = round_;
+            ctx.note_decide(cfg_.tag, *decision_, round_);
           }
           x_ = v;
           resolved = true;
@@ -135,6 +136,7 @@ void Bracha::check_progress(sim::Context& ctx) {
       if (!resolved) x_ = static_cast<std::uint8_t>(ctx.rng().next_below(2));
       step_ = 1;
       ++round_;
+      ctx.note_round(round_);
     }
 
     if ((decision_ && round_ > decision_round_ + cfg_.extra_rounds) ||

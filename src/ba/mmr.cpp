@@ -174,11 +174,13 @@ void Mmr::on_coin(sim::Context& ctx, int c) {
     if (static_cast<int>(v) == c && !decision_) {
       decision_ = c;
       decision_round_ = round_;
+      ctx.note_decide(cfg_.tag, *decision_, round_);
     }
   } else {
     est_ = static_cast<Value>(c);
   }
   ++round_;
+  ctx.note_round(round_);
   begin_round(ctx);
 }
 

@@ -29,9 +29,12 @@ void ReliableBroadcast::maybe_send_ready(sim::Context& ctx,
   ctx.broadcast(tag_ready_, w.take(), payload_words_ + 1);
 }
 
-void ReliableBroadcast::maybe_deliver(const FlowKey& key) {
+void ReliableBroadcast::maybe_deliver(sim::Context& ctx, const FlowKey& key) {
   if (delivered_.count(key.source)) return;  // one delivery per source
   delivered_.insert(key.source);
+  // RBC's output event: the delivered flow's source stands in for the
+  // (binary) decision value of the BA protocols.
+  ctx.note_decide(cfg_.tag, static_cast<int>(key.source), 0);
   if (on_deliver_) on_deliver_(key.source, key.payload);
 }
 
@@ -70,7 +73,7 @@ bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
   } else {
     if (!flow.readies.insert(msg.from).second) return true;
     if (flow.readies.size() >= cfg_.f + 1) maybe_send_ready(ctx, key);
-    if (flow.readies.size() >= 2 * cfg_.f + 1) maybe_deliver(key);
+    if (flow.readies.size() >= 2 * cfg_.f + 1) maybe_deliver(ctx, key);
   }
   return true;
 }

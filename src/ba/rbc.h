@@ -66,7 +66,7 @@ class ReliableBroadcast {
   };
 
   void maybe_send_ready(sim::Context& ctx, const FlowKey& key);
-  void maybe_deliver(const FlowKey& key);
+  void maybe_deliver(sim::Context& ctx, const FlowKey& key);
 
   Config cfg_;
   DeliverFn on_deliver_;

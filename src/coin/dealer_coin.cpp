@@ -72,7 +72,7 @@ void DealerCoin::start(sim::Context& ctx) {
   ctx.broadcast(tag_share_, w.take(), kShareMessageWords);
 }
 
-bool DealerCoin::handle(sim::Context& /*ctx*/, const sim::Message& msg) {
+bool DealerCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (msg.tag != tag_share_) return false;
   if (done_) return true;
 
@@ -99,6 +99,7 @@ bool DealerCoin::handle(sim::Context& /*ctx*/, const sim::Message& msg) {
     for (const auto& [id, s] : shares_) reveal.push_back(s);
     done_ = true;
     output_ = static_cast<int>(crypto::shamir_reconstruct(reveal) & 1);
+    ctx.note_decide(cfg_.tag, output_, cfg_.round);
     if (on_done_) on_done_(output_);
   }
   return true;

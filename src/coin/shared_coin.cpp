@@ -117,6 +117,7 @@ bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (second_set_.size() == cfg_.n - cfg_.f) {
     done_ = true;
     output_ = min_value_.back() & 1;
+    ctx.note_decide(cfg_.tag, output_, cfg_.round);
     if (on_done_) on_done_(output_);
   }
   return true;

@@ -152,6 +152,7 @@ bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (second_count_ == cfg_.params.W) {
     done_ = true;
     output_ = min_value_.back() & 1;
+    ctx.note_decide(cfg_.tag, output_, cfg_.round);
     if (on_done_) on_done_(output_);
   }
   return true;

@@ -1,0 +1,72 @@
+#include "common/log_hist.h"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+namespace coincidence {
+
+std::size_t LogHistogram::bucket_of(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t LogHistogram::percentile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Smallest cumulative count covering q of the sample; q=0 lands in the
+  // first non-empty bucket, q=1 in the last.
+  std::uint64_t need = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  if (need == 0) need = 1;
+  if (need > total_) need = total_;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += counts_[k];
+    if (seen >= need) return bucket_upper(k);
+  }
+  return max_;
+}
+
+std::string LogHistogram::brief() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (counts_[k] == 0) continue;
+    if (!first) os << ' ';
+    os << k << ':' << counts_[k];
+    first = false;
+  }
+  return os.str();
+}
+
+void LogHistogram::to_json(std::ostream& os) const {
+  os << "{\"total\":" << total_ << ",\"sum\":" << sum_ << ",\"max\":" << max_
+     << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (counts_[k] == 0) continue;
+    if (!first) os << ',';
+    os << '[' << k << ',' << counts_[k] << ']';
+    first = false;
+  }
+  os << "]}";
+}
+
+void LogHistogram::to_prometheus(std::ostream& os, const std::string& name,
+                                 const std::string& labels) const {
+  const std::string sep = labels.empty() ? "" : ",";
+  std::uint64_t cumulative = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (counts_[k] == 0) continue;
+    cumulative += counts_[k];
+    os << name << "_bucket{" << labels << sep << "le=\"" << bucket_upper(k)
+       << "\"} " << cumulative << '\n';
+  }
+  os << name << "_bucket{" << labels << sep << "le=\"+Inf\"} " << total_
+     << '\n';
+  os << name << "_sum{" << labels << "} " << sum_ << '\n';
+  os << name << "_count{" << labels << "} " << total_ << '\n';
+}
+
+}  // namespace coincidence

@@ -1,0 +1,92 @@
+// Log-bucketed histogram for run telemetry (ISSUE 4 tentpole).
+//
+// The telemetry plane records a histogram per (tag, dimension) for every
+// delivered message, so the accumulate path must be branch-light and
+// allocation-free: values land in power-of-two buckets (bucket k holds
+// values with bit_width k, i.e. [2^(k-1), 2^k)), which costs one
+// std::bit_width plus one increment. Exact count and sum are kept
+// alongside, so means are exact and only percentiles are bucket-
+// approximate (reported as the bucket's inclusive upper bound, a
+// conservative over-estimate). Buckets are a fixed 65-slot array —
+// merging, copying and diffing histograms across runs is trivially
+// deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace coincidence {
+
+class LogHistogram {
+ public:
+  /// Bucket index for `value`: 0 for value 0, else bit_width(value)
+  /// (so bucket k >= 1 spans [2^(k-1), 2^k)).
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t value) {
+    ++counts_[bucket_of(value)];
+    ++total_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  bool empty() const { return total_ == 0; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_[bucket];
+  }
+
+  /// Inclusive upper bound of a bucket (0, 1, 3, 7, 15, ...).
+  static std::uint64_t bucket_upper(std::size_t bucket) {
+    if (bucket == 0) return 0;
+    if (bucket >= 64) return UINT64_MAX;
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+  /// Bucket-resolution percentile, q in [0, 1]: the upper bound of the
+  /// first bucket whose cumulative count reaches q * total (exact for
+  /// q = 1 up to bucket resolution; 0 on an empty histogram).
+  std::uint64_t percentile(double q) const;
+
+  /// Compact text form "0:3 1:5 4:12" — non-empty buckets only, keyed by
+  /// bucket index, plus nothing else (summary values are printed by the
+  /// owner). Deterministic.
+  std::string brief() const;
+
+  /// JSON object {"total":..,"sum":..,"max":..,"buckets":[[k,count],..]}
+  /// with buckets in ascending k, empty buckets omitted. Deterministic.
+  void to_json(std::ostream& os) const;
+
+  /// Prometheus histogram exposition: one cumulative `<name>_bucket`
+  /// line per non-empty bucket boundary plus `+Inf`, `<name>_sum` and
+  /// `<name>_count`. `labels` is the rendered label set without braces
+  /// (may be empty), e.g. `phase="coin/first"`.
+  void to_prometheus(std::ostream& os, const std::string& name,
+                     const std::string& labels) const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t value);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace coincidence

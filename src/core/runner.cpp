@@ -111,6 +111,11 @@ ba::BaProcess& as_ba(sim::Process& p) {
 }  // namespace
 
 RunReport run_agreement(const RunOptions& options) {
+  return run_agreement(options, RunInstruments{});
+}
+
+RunReport run_agreement(const RunOptions& options,
+                        const RunInstruments& instruments) {
   COIN_REQUIRE(options.n >= min_n_for(options.protocol),
                "run_agreement: n below the protocol's minimum");
 
@@ -225,6 +230,8 @@ RunReport run_agreement(const RunOptions& options) {
   scfg.seed = options.seed;
   scfg.network = options.network;
   sim::Simulation sim(scfg);
+  if (instruments.detailed_metrics) sim.metrics().enable_detail();
+  for (const auto& obs : instruments.observers) sim.add_observer(obs);
   for (sim::ProcessId i = 0; i < options.n; ++i) {
     std::unique_ptr<sim::Process> p = make_process(i, inputs[i]);
     if (options.reliable_channel)
@@ -280,8 +287,11 @@ RunReport run_agreement(const RunOptions& options) {
   report.link_replays = sim.metrics().link_replays();
   report.retransmits = sim.metrics().retransmits();
   report.retransmit_words = sim.metrics().retransmit_words();
+  report.dead_letters = sim.metrics().dead_letters();
+  report.dead_letter_words = sim.metrics().dead_letter_words();
   for (sim::ProcessId i = 0; i < options.n; ++i)
     report.duration = std::max(report.duration, sim.depth_of(i));
+  if (instruments.metrics_out) instruments.metrics_out(sim.metrics());
   return report;
 }
 

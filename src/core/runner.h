@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,8 @@
 #include "core/env.h"
 #include "sim/fault.h"
 #include "sim/link.h"
+#include "sim/metrics.h"
+#include "sim/observer.h"
 
 namespace coincidence::core {
 
@@ -102,9 +106,32 @@ struct RunReport {
   std::uint64_t link_replays = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t retransmit_words = 0;  // repair overhead, not §2 words
+  // Frames a transport abandoned after exhausting retransmissions —
+  // surfaced so lossy runs can assert every loss is accounted for.
+  std::uint64_t dead_letters = 0;
+  std::uint64_t dead_letter_words = 0;
+};
+
+/// Instrumentation to attach to a run without changing its behaviour:
+/// runs with and without instruments are delivery-for-delivery identical
+/// (observers are passive; detail metrics only record extra histograms).
+struct RunInstruments {
+  /// Attached to the Simulation before start(), in order.
+  std::vector<std::shared_ptr<sim::Observer>> observers;
+  /// Switches on Metrics per-tag/per-phase histograms (words, causal
+  /// depth, delivery latency).
+  bool detailed_metrics = false;
+  /// Called with the run's final Metrics before the Simulation is torn
+  /// down — the escape hatch for JSON/Prometheus export and report
+  /// tooling (RunReport carries only the headline numbers).
+  std::function<void(const sim::Metrics&)> metrics_out;
 };
 
 /// Runs one agreement instance to completion (or whp-failure quiescence).
 RunReport run_agreement(const RunOptions& options);
+
+/// Same run, with telemetry attached (tools/run_report drives this).
+RunReport run_agreement(const RunOptions& options,
+                        const RunInstruments& instruments);
 
 }  // namespace coincidence::core

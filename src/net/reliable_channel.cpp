@@ -126,6 +126,9 @@ void ReliableChannel::on_wakeup(sim::Context& ctx) {
     }
     if (out.attempts >= cfg_.max_retransmits) {
       ++abandoned_;
+      // The payload is lost for good — surface it instead of dropping it
+      // silently: Metrics counts it and Observer::on_dead_letter fires.
+      ctx.note_dead_letter(out.to, dat_tag_, out.words);
       it = outgoing_.erase(it);
       continue;
     }

@@ -43,6 +43,17 @@ class ReliableProcess::ChannelContext final : public sim::Context {
   }
   void persist(BytesView snapshot) override { outer().persist(snapshot); }
 
+  // Telemetry notes pass straight through — the channel is invisible to
+  // the decide/round accounting of the wrapped protocol.
+  void note_decide(sim::Tag scope, int value, std::uint64_t round) override {
+    outer().note_decide(scope, value, round);
+  }
+  void note_round(std::uint64_t round) override { outer().note_round(round); }
+  void note_dead_letter(sim::ProcessId to, sim::Tag tag,
+                        std::size_t words) override {
+    outer().note_dead_letter(to, tag, words);
+  }
+
  private:
   sim::Context& outer() const {
     COIN_REQUIRE(host_->outer_ != nullptr,

@@ -13,6 +13,21 @@
 
 namespace coincidence::sim {
 
+/// A protocol-level decision or sub-protocol output, reported through
+/// Context::note_decide. `scope` is the reporting (sub-)protocol's tag
+/// prefix ("ba", "ba/3/coin", ...), `value` its output, `round` the
+/// protocol round the output fired in, and `causal_depth` the reporter's
+/// observed causal depth at that moment — the quantity the paper's
+/// duration metric maximises over decision events.
+struct DecideEvent {
+  ProcessId who = 0;
+  Tag scope;
+  int value = 0;
+  std::uint64_t round = 0;
+  std::uint64_t causal_depth = 0;
+  bool correct = true;  // false when the reporter is corrupted
+};
+
 class Observer {
  public:
   virtual ~Observer() = default;
@@ -33,8 +48,34 @@ class Observer {
   /// The lossy link layer dropped `msg` (it will never be delivered).
   virtual void on_link_drop(const Message& /*msg*/) {}
 
-  /// The lossy link layer enqueued an extra copy / stale replay of `msg`.
+  /// The lossy link layer enqueued an extra copy of `msg`.
   virtual void on_link_duplicate(const Message& /*msg*/) {}
+
+  /// The lossy link layer belched up a stale replay. Default forwards to
+  /// on_link_duplicate, matching the pre-telemetry contract where both
+  /// network-created copies arrived through one hook.
+  virtual void on_link_replay(const Message& msg) { on_link_duplicate(msg); }
+
+  /// A transport gave up on a frame (e.g. net::ReliableChannel exhausting
+  /// max_retransmits). The payload is gone for good and is *not* covered
+  /// by on_link_drop — that hook fires per lost packet, this one fires
+  /// once per abandoned payload.
+  virtual void on_dead_letter(ProcessId /*from*/, ProcessId /*to*/,
+                              const Tag& /*tag*/, std::size_t /*words*/) {}
+
+  /// A protocol decision point fired (Context::note_decide).
+  virtual void on_decide(const DecideEvent& /*event*/) {}
+
+  /// A process entered protocol round `round` (Context::note_round).
+  virtual void on_round(ProcessId /*who*/, std::uint64_t /*round*/) {}
+
+  /// The scheduler picked the next message to deliver. `forced_by_
+  /// fairness` marks deliveries the fairness bound forced through over
+  /// the adversary's head; everything else is the adversary's own pick.
+  /// Fires before the delivery it describes (msg.age is the delivery-
+  /// event count the message spent pending).
+  virtual void on_adversary_choice(const MessageMeta& /*msg*/,
+                                   bool /*forced_by_fairness*/) {}
 };
 
 }  // namespace coincidence::sim

@@ -69,6 +69,32 @@ class Context {
   /// previous snapshot. Stable storage survives kCrashRecover faults and
   /// is handed back via Process::on_recover. Default: dropped.
   virtual void persist(BytesView snapshot) { (void)snapshot; }
+
+  // --- Telemetry notes (ISSUE 4). Pure observability: the runtime fans
+  // these out to Observers and Metrics; they never influence scheduling,
+  // randomness, or message flow, so instrumented and bare runs are
+  // byte-identical. Defaults are no-ops for harness Contexts.
+
+  /// This process (or a sub-protocol it hosts) produced an output: a BA
+  /// decision, a coin value, an approver value set, an RBC delivery.
+  /// `scope` is the reporting instance's tag prefix, `round` its round.
+  virtual void note_decide(Tag scope, int value, std::uint64_t round) {
+    (void)scope;
+    (void)value;
+    (void)round;
+  }
+
+  /// This process entered protocol round `round`.
+  virtual void note_round(std::uint64_t round) { (void)round; }
+
+  /// A transport on this process abandoned a frame addressed to `to`
+  /// after exhausting its retransmission budget — the payload is lost
+  /// and must be accounted, never silently dropped.
+  virtual void note_dead_letter(ProcessId to, Tag tag, std::size_t words) {
+    (void)to;
+    (void)tag;
+    (void)words;
+  }
 };
 
 class Process {

@@ -77,6 +77,18 @@ class Simulation::SlotContext final : public Context {
                                              snapshot.end());
   }
 
+  void note_decide(Tag scope, int value, std::uint64_t round) override {
+    sim_->note_decide_from(id_, scope, value, round);
+  }
+
+  void note_round(std::uint64_t round) override {
+    sim_->note_round_from(id_, round);
+  }
+
+  void note_dead_letter(ProcessId to, Tag tag, std::size_t words) override {
+    sim_->note_dead_letter_from(id_, to, tag, words);
+  }
+
  private:
   Simulation* sim_;
   ProcessId id_;
@@ -273,7 +285,7 @@ void Simulation::push_through_link(Message msg) {
               link_rng_.next_below(history->size()))];
       replay.id = next_msg_id_++;
       metrics_.record_link_replay();
-      for (auto& obs : observers_) obs->on_link_duplicate(replay);
+      for (auto& obs : observers_) obs->on_link_replay(replay);
       pending_.push(std::move(replay), deliveries_);
     }
   }
@@ -339,6 +351,37 @@ void Simulation::drain_self_queue(ProcessId id) {
     slot.depth = std::max(slot.depth, msg.causal_depth);
     slot.process->on_message(*slot.context, msg);
   }
+}
+
+// ----------------------------------------------------- telemetry notes --
+//
+// The §2 measures only count events at correct processes, so Metrics see
+// a decision only when the reporter is currently correct; observers see
+// everything, with the DecideEvent.correct flag carrying the distinction.
+
+void Simulation::note_decide_from(ProcessId who, Tag scope, int value,
+                                  std::uint64_t round) {
+  const Slot& slot = *slots_[who];
+  if (!slot.corrupted) metrics_.record_decide(round, slot.depth);
+  if (observers_.empty()) return;
+  DecideEvent ev;
+  ev.who = who;
+  ev.scope = scope;
+  ev.value = value;
+  ev.round = round;
+  ev.causal_depth = slot.depth;
+  ev.correct = !slot.corrupted;
+  for (auto& obs : observers_) obs->on_decide(ev);
+}
+
+void Simulation::note_round_from(ProcessId who, std::uint64_t round) {
+  for (auto& obs : observers_) obs->on_round(who, round);
+}
+
+void Simulation::note_dead_letter_from(ProcessId who, ProcessId to, Tag tag,
+                                       std::size_t words) {
+  metrics_.record_dead_letter(words);
+  for (auto& obs : observers_) obs->on_dead_letter(who, to, tag, words);
 }
 
 // ----------------------------------------------------- timers/recovery --
@@ -443,21 +486,38 @@ bool Simulation::step() {
   // stalest heap entry is too young, the precise (stale-popping) oldest
   // lookup cannot trigger either, so it is skipped entirely.
   std::size_t chosen = static_cast<std::size_t>(-1);
+  bool forced_by_fairness = false;
   if (deliveries_ - pending_.oldest_tick_lower_bound() >=
       cfg_.fairness_bound) {
     std::size_t oldest = pending_.oldest_index();
-    if (deliveries_ - pending_.enqueue_tick(oldest) >= cfg_.fairness_bound)
+    if (deliveries_ - pending_.enqueue_tick(oldest) >= cfg_.fairness_bound) {
       chosen = oldest;
+      forced_by_fairness = true;
+    }
   }
   if (chosen == static_cast<std::size_t>(-1)) {
     chosen = adversary_->schedule(pending_, rng_);
     COIN_REQUIRE(chosen < pending_.size(), "adversary chose bad index");
   }
 
+  const std::uint64_t age = deliveries_ - pending_.enqueue_tick(chosen);
   Message msg = pending_.take(chosen);
 
+  if (!observers_.empty()) {
+    MessageMeta meta;
+    meta.id = msg.id;
+    meta.from = msg.from;
+    meta.to = msg.to;
+    meta.tag = msg.tag;
+    meta.words = msg.words;
+    meta.send_seq = msg.send_seq;
+    meta.age = age;
+    for (auto& obs : observers_)
+      obs->on_adversary_choice(meta, forced_by_fairness);
+  }
+
   ++deliveries_;
-  metrics_.record_delivery();
+  metrics_.record_delivery(msg, age);
   dispatch_to(msg.to, msg);
   remember_delivered(msg);
   for (auto& obs : observers_) obs->on_deliver(msg);

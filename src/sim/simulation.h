@@ -143,6 +143,15 @@ class Simulation {
                     bool retransmit = false);
   void apply_corruptions();
 
+  // Telemetry notes forwarded from SlotContext (Context::note_*): fan
+  // out to Metrics and the observers. Pure observation — nothing here
+  // touches scheduling state.
+  void note_decide_from(ProcessId who, Tag scope, int value,
+                        std::uint64_t round);
+  void note_round_from(ProcessId who, std::uint64_t round);
+  void note_dead_letter_from(ProcessId who, ProcessId to, Tag tag,
+                             std::size_t words);
+
   // Lossy-link layer (sim/link.h), applied between enqueue and the pool.
   void push_through_link(Message msg);
   void remember_delivered(const Message& msg);

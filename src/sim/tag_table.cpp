@@ -1,5 +1,6 @@
 #include "sim/tag_table.h"
 
+#include <mutex>
 #include <ostream>
 
 #include "common/errors.h"
@@ -17,7 +18,16 @@ TagTable::TagTable() {
 }
 
 TagId TagTable::intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Fast path: parallel drivers intern the same bounded tag grammar over
+  // and over, so nearly every call is a lookup hit — readers share mu_.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned `s` between the locks.
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
 

@@ -15,17 +15,19 @@
 // string. See docs/SIM_FAST_PATH.md for the full argument.
 //
 // Thread-safety: core/parallel.h runs whole simulations on worker
-// threads, and protocols intern at construction time — so intern() is
-// mutex-guarded while str() is lock-free (chunked storage with stable
-// addresses; an acquire on the published size pairs with the release in
-// intern(), so any id obtained from a Tag resolves safely).
+// threads, and protocols intern at construction time — so intern() takes
+// a shared lock for the (overwhelmingly common) lookup-hit path and only
+// upgrades to an exclusive lock to insert a genuinely new tag, while
+// str() is lock-free (chunked storage with stable addresses; an acquire
+// on the published size pairs with the release in intern(), so any id
+// obtained from a Tag resolves safely).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -64,7 +66,7 @@ class TagTable {
 
   std::atomic<std::uint32_t> size_{0};
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
-  std::mutex mu_;
+  mutable std::shared_mutex mu_;
   // Keys are views into chunk storage (stable addresses).
   std::unordered_map<std::string_view, TagId> index_;
 };

@@ -207,6 +207,20 @@ TEST(ChaosSafety, BaWhpOverReliableChannelDecidesUnder20PctDrop) {
   EXPECT_GT(report.retransmit_words, 0u);
   // Repair overhead must be outside the paper's word complexity.
   EXPECT_GT(report.correct_words, 0u);
+  // ISSUE 4 satellite: frames the channels abandoned mid-run must be
+  // *visible* losses, never the pre-fix silent erase. At n=32 under 20%
+  // loss they are plentiful — the RTO clock counts global delivery
+  // events, so a congested queue exhausts a frame's retry budget even
+  // when the original copy is merely slow, not lost. Exactly-once
+  // delivery absorbed every abandoned frame (the decision above), and
+  // the counters prove the losses were accounted.
+  EXPECT_GT(report.dead_letters, 0u);
+  EXPECT_GT(report.dead_letter_words, 0u);
+  // Each abandoned frame was charged to correct_words once (plus its
+  // retries to retransmit_words), so the loss accounting is bounded by
+  // what actually went on the wire.
+  EXPECT_LE(report.dead_letter_words,
+            report.correct_words + report.retransmit_words);
 }
 
 // Identical seeds must reproduce identical runs even with every chaos

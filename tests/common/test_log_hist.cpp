@@ -1,0 +1,123 @@
+// LogHistogram (ISSUE 4 tentpole): log-bucketed telemetry histogram —
+// bucket placement, merge, percentile endpoints, and the deterministic
+// JSON / Prometheus export formats.
+#include "common/log_hist.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace coincidence {
+namespace {
+
+TEST(LogHistogram, EmptyHistogramIsInert) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.brief(), "");
+}
+
+TEST(LogHistogram, BucketPlacementFollowsBitWidth) {
+  LogHistogram h;
+  h.add(0);  // bucket 0
+  h.add(1);  // bucket 1: [1, 2)
+  h.add(2);  // bucket 2: [2, 4)
+  h.add(3);  // bucket 2
+  h.add(4);  // bucket 3: [4, 8)
+  h.add(7);  // bucket 3
+  h.add(8);  // bucket 4: [8, 16)
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.sum(), 25u);
+  EXPECT_EQ(h.max(), 8u);
+}
+
+TEST(LogHistogram, BucketUpperBoundsAreInclusive) {
+  EXPECT_EQ(LogHistogram::bucket_upper(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_upper(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_upper(2), 3u);
+  EXPECT_EQ(LogHistogram::bucket_upper(3), 7u);
+  EXPECT_EQ(LogHistogram::bucket_upper(64), UINT64_MAX);
+}
+
+TEST(LogHistogram, SingleSamplePercentileEndpoints) {
+  LogHistogram h;
+  h.add(42);  // bucket 6: [32, 64), upper bound 63
+  EXPECT_EQ(h.percentile(0.0), 63u);
+  EXPECT_EQ(h.percentile(0.5), 63u);
+  EXPECT_EQ(h.percentile(1.0), 63u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(LogHistogram, PercentileIsConservativeUpperBound) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);   // bucket 1, upper 1
+  for (int i = 0; i < 10; ++i) h.add(100);  // bucket 7, upper 127
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.9), 1u);
+  EXPECT_EQ(h.percentile(0.99), 127u);
+  EXPECT_EQ(h.percentile(1.0), 127u);
+}
+
+TEST(LogHistogram, MergeAddsCountsSumAndMax) {
+  LogHistogram a, b;
+  a.add(1);
+  a.add(5);
+  b.add(5);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.sum(), 1011u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.bucket_count(3), 2u);  // both fives
+}
+
+TEST(LogHistogram, BriefListsNonEmptyBucketsInOrder) {
+  LogHistogram h;
+  h.add(0);
+  h.add(0);
+  h.add(9);
+  EXPECT_EQ(h.brief(), "0:2 4:1");
+}
+
+TEST(LogHistogram, JsonExportIsDeterministic) {
+  auto render = [] {
+    LogHistogram h;
+    h.add(3);
+    h.add(12);
+    std::ostringstream os;
+    h.to_json(os);
+    return os.str();
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_NE(a.find("\"total\":2"), std::string::npos);
+  EXPECT_NE(a.find("\"sum\":15"), std::string::npos);
+  EXPECT_NE(a.find("\"buckets\""), std::string::npos);
+}
+
+TEST(LogHistogram, PrometheusExportIsCumulativeWithInf) {
+  LogHistogram h;
+  h.add(1);
+  h.add(3);
+  std::ostringstream os;
+  h.to_prometheus(os, "coin_latency", "phase=\"coin/first\"");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("coin_latency_bucket"), std::string::npos);
+  EXPECT_NE(out.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(out.find("coin_latency_sum"), std::string::npos);
+  EXPECT_NE(out.find("coin_latency_count"), std::string::npos);
+  EXPECT_NE(out.find("phase=\"coin/first\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coincidence

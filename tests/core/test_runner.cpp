@@ -121,6 +121,69 @@ TEST(Runner, WordsByTagBucketsPopulated) {
   EXPECT_EQ(sum, r.correct_words);
 }
 
+// ISSUE 4 tentpole: telemetry attaches through RunInstruments without
+// changing the run, and the per-phase word view partitions the paper's
+// word-complexity measure exactly — this is the identity tools/run_report
+// asserts on every invocation.
+TEST(Runner, InstrumentedRunMatchesBareRun) {
+  RunOptions options;
+  options.protocol = Protocol::kBaWhp;
+  options.n = 32;
+  options.seed = 6;
+  options.inputs.assign(32, ba::kOne);
+
+  RunReport bare = run_agreement(options);
+
+  RunInstruments instruments;
+  instruments.detailed_metrics = true;
+  bool metrics_seen = false;
+  std::uint64_t phase_sum = 0, metrics_correct_words = 0;
+  std::size_t phase_rows = 0;
+  instruments.metrics_out = [&](const sim::Metrics& m) {
+    metrics_seen = true;
+    metrics_correct_words = m.correct_words();
+    for (const auto& [phase, words] : m.words_by_phase()) {
+      (void)phase;
+      phase_sum += words;
+      ++phase_rows;
+    }
+    EXPECT_FALSE(m.by_phase().empty());  // detail mode was on
+  };
+  RunReport instrumented = run_agreement(options, instruments);
+
+  ASSERT_TRUE(metrics_seen);
+  EXPECT_EQ(bare.all_correct_decided, instrumented.all_correct_decided);
+  EXPECT_EQ(bare.decision, instrumented.decision);
+  EXPECT_EQ(bare.correct_words, instrumented.correct_words);
+  EXPECT_EQ(bare.messages, instrumented.messages);
+  EXPECT_EQ(bare.duration, instrumented.duration);
+  EXPECT_EQ(bare.max_decided_round, instrumented.max_decided_round);
+  EXPECT_EQ(bare.words_by_tag, instrumented.words_by_tag);
+
+  // The acceptance identity: phase buckets partition correct_words.
+  EXPECT_GT(phase_rows, 1u);
+  EXPECT_EQ(phase_sum, metrics_correct_words);
+  EXPECT_EQ(phase_sum, instrumented.correct_words);
+}
+
+TEST(Runner, MetricsOutFiresWithoutDetailMode) {
+  RunOptions options;
+  options.protocol = Protocol::kBenOr;
+  options.n = 7;
+  options.seed = 2;
+  options.inputs.assign(7, ba::kZero);
+  RunInstruments instruments;
+  std::uint64_t seen_words = 0;
+  bool detail = true;
+  instruments.metrics_out = [&](const sim::Metrics& m) {
+    seen_words = m.correct_words();
+    detail = m.detail_enabled();
+  };
+  RunReport report = run_agreement(options, instruments);
+  EXPECT_EQ(seen_words, report.correct_words);
+  EXPECT_FALSE(detail);  // only switched on when asked
+}
+
 TEST(CoinRunner, AllKindsReturnAndMostlyAgree) {
   for (CoinKind k : {CoinKind::kShared, CoinKind::kWhp, CoinKind::kDealer}) {
     int agreed = 0, returned = 0;

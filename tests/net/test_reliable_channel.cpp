@@ -167,6 +167,57 @@ TEST(ReliableChannel, SelfSendsBypassTheChannel) {
   EXPECT_EQ(sim.metrics().words_by_tag().count("dat"), 0u);
 }
 
+/// Counts on_dead_letter firings and the words they carried.
+class DeadLetterCounter final : public sim::Observer {
+ public:
+  std::uint64_t count = 0;
+  std::uint64_t words = 0;
+  void on_dead_letter(sim::ProcessId, sim::ProcessId, const sim::Tag&,
+                      std::size_t w) override {
+    ++count;
+    words += w;
+  }
+};
+
+// ISSUE 4 satellite: giving up after max_retransmits used to be silent —
+// the frame vanished from unacked() and nothing recorded the loss. Every
+// abandoned frame must now surface through Metrics AND the observer
+// hook, and the three counts must agree exactly.
+TEST(ReliableChannel, AbandonedFramesAreAccountedNotSilent) {
+  ReliableChannelConfig ccfg;
+  ccfg.initial_rto = 4;
+  ccfg.max_rto = 16;
+  ccfg.max_retransmits = 3;
+  auto pair = make_pair_sim(2, sim::NetworkProfile::lossless(), 13,
+                            /*f=*/1, ccfg);
+  auto counter = std::make_shared<DeadLetterCounter>();
+  pair.sim->add_observer(counter);
+  pair.sim->corrupt(1, sim::FaultPlan::crash());
+  pair.sim->start();
+  pair.sim->run();
+
+  EXPECT_EQ(pair.sender_channel->abandoned(), 2u);
+  EXPECT_EQ(pair.sim->metrics().dead_letters(),
+            pair.sender_channel->abandoned());
+  EXPECT_EQ(counter->count, pair.sender_channel->abandoned());
+  // Each abandoned frame carried the 2-word payload; the words are
+  // reported too so lossy experiments can bound what was lost.
+  EXPECT_EQ(pair.sim->metrics().dead_letter_words(), counter->words);
+  EXPECT_GT(counter->words, 0u);
+}
+
+TEST(ReliableChannel, NoDeadLettersWhenEverythingAcks) {
+  auto pair = make_pair_sim(
+      10, sim::NetworkProfile::uniform(sim::LinkPlan::lossy(0.4)), 7);
+  pair.sim->start();
+  pair.sim->run();
+  // Heavy loss but a live peer and the default generous retry budget:
+  // nothing may be abandoned, and the accounting must agree on zero.
+  EXPECT_EQ(pair.sender_channel->abandoned(), 0u);
+  EXPECT_EQ(pair.sim->metrics().dead_letters(), 0u);
+  EXPECT_EQ(pair.sim->metrics().dead_letter_words(), 0u);
+}
+
 TEST(ReliableChannel, SameSeedSameRepairSchedule) {
   auto run = [](std::uint64_t seed) {
     auto pair = make_pair_sim(
