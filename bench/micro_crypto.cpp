@@ -155,6 +155,29 @@ void BM_DualExp(benchmark::State& state) {
 }
 BENCHMARK(BM_DualExp)->Unit(benchmark::kMicrosecond);
 
+// The batch-verification engine: Π bᵢ^eᵢ with 128-bit exponents (the
+// BGR combiner width), against which k chained dual ladders would pay
+// full-width squaring chains per pair. Below 8 terms multi_exp itself
+// falls back to the chained Straus ladder, so Arg(4) prices the
+// crossover's cheap side.
+void BM_MultiExp(benchmark::State& state) {
+  PrimeGroup group = PrimeGroup::rfc3526_1536();
+  Rng rng(26);
+  auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<MultiExpTerm> terms(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    terms[i].base = group.hash_to_group(rng.next_bytes(32));
+    terms[i].exp = Bignum::from_bytes_be(rng.next_bytes(16));  // 128-bit
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.multi_exp(terms));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_MultiExp)->Arg(4)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_ExpGComb(benchmark::State& state) {
   PrimeGroup group = PrimeGroup::rfc3526_1536();
   Rng rng(25);

@@ -163,20 +163,42 @@ bool Approver::handle_ok(sim::Context& ctx, const sim::Message& msg) {
     return true;
   }
   if (!is_valid_value(v)) return true;
-  if (!cfg_.sampler->committee_val(ok_seed(), msg.from, election))
-    return true;
 
-  // Validate the embedded W signed echoes: distinct echo(v) committee
-  // members, each with a valid signature over <echo, v>.
+  // Validate the sender's ok election plus the embedded W signed echoes:
+  // distinct echo(v) committee members, each with a valid signature over
+  // <echo, v>. The distinct check runs first in both paths; it is the
+  // only stateless filter cheaper than a verification.
   std::set<crypto::ProcessId> distinct;
-  Bytes expected = echo_sign_bytes(v);
-  for (const auto& e : proof) {
+  for (const auto& e : proof)
     if (!distinct.insert(e.sender).second) return true;
-    if (!cfg_.sampler->committee_val(echo_seed(v), e.sender,
-                                     e.election_proof))
+
+  if (cfg_.batcher) {
+    // One folded batch over all W+1 election proofs. Inline would stop
+    // at the first failure; verifying the rest anyway changes no
+    // verdict (committee_val is pure), only cache population.
+    std::vector<committee::Sampler::ValCheck> checks;
+    checks.reserve(proof.size() + 1);
+    checks.push_back(
+        committee::Sampler::ValCheck{&ok_seed(), msg.from, election});
+    for (const auto& e : proof)
+      checks.push_back(committee::Sampler::ValCheck{&echo_seed(v), e.sender,
+                                                    e.election_proof});
+    std::vector<char> ok;
+    cfg_.batcher->verify_elections(checks, ok);
+    for (char c : ok)
+      if (!c) return true;
+  } else {
+    if (!cfg_.sampler->committee_val(ok_seed(), msg.from, election))
       return true;
-    if (!cfg_.signer->verify(e.sender, expected, e.signature)) return true;
+    for (const auto& e : proof)
+      if (!cfg_.sampler->committee_val(echo_seed(v), e.sender,
+                                       e.election_proof))
+        return true;
   }
+
+  Bytes expected = echo_sign_bytes(v);
+  for (const auto& e : proof)
+    if (!cfg_.signer->verify(e.sender, expected, e.signature)) return true;
 
   if (!ok_senders_.insert(msg.from).second) return true;
   ok_values_.insert(v);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "ba/value.h"
+#include "coin/verify_queue.h"
 #include "committee/params.h"
 #include "committee/sampler.h"
 #include "crypto/key_registry.h"
@@ -46,6 +47,11 @@ class Approver {
     std::shared_ptr<const crypto::KeyRegistry> registry;
     std::shared_ptr<const committee::Sampler> sampler;
     std::shared_ptr<const crypto::Signer> signer;
+    /// When set, the W+1 election proofs inside each <ok> message are
+    /// checked in one committee_val_batch call (folded multi-exp + memo)
+    /// instead of W+1 inline committee_val calls. Accept/reject verdicts
+    /// are identical either way — committee_val is pure.
+    std::shared_ptr<coin::BatchVerifier> batcher;
   };
 
   using DoneFn = std::function<void(const std::set<Value>&)>;

@@ -44,6 +44,7 @@ void BaWhp::begin_round(sim::Context& ctx) {
   acfg.registry = cfg_.registry;
   acfg.sampler = cfg_.sampler;
   acfg.signer = cfg_.signer;
+  acfg.batcher = cfg_.batcher;
   approver_ = std::make_unique<Approver>(
       acfg, est_,
       [this, &ctx](const std::set<Value>& vals) { on_vals(ctx, vals); });
@@ -63,6 +64,7 @@ void BaWhp::on_vals(sim::Context& ctx, const std::set<Value>& vals) {
   ccfg.vrf = cfg_.vrf;
   ccfg.registry = cfg_.registry;
   ccfg.sampler = cfg_.sampler;
+  ccfg.batcher = cfg_.batcher;
   coin_ = std::make_unique<coin::WhpCoin>(
       ccfg, [this, &ctx](int c) { on_coin(ctx, c); });
   coin_->start(ctx);
@@ -80,6 +82,7 @@ void BaWhp::on_coin(sim::Context& ctx, int c) {
   acfg.registry = cfg_.registry;
   acfg.sampler = cfg_.sampler;
   acfg.signer = cfg_.signer;
+  acfg.batcher = cfg_.batcher;
   approver_ = std::make_unique<Approver>(
       acfg, propose_,
       [this, &ctx](const std::set<Value>& props) { on_props(ctx, props); });

@@ -80,6 +80,72 @@ void SharedCoin::start(sim::Context& ctx) {
   ctx.broadcast(tag_first_, wire.encode(), kCoinMessageWords);
 }
 
+void SharedCoin::apply_share(sim::Context& ctx, bool is_first,
+                             crypto::ProcessId sender, BytesView value,
+                             crypto::ProcessId origin,
+                             BytesView origin_proof) {
+  if (done_) return;  // post-decide shares are state no-ops
+  if (is_first) {
+    if (!first_set_.insert(sender).second) return;
+    // Late firsts (after <second> went out) still fold into v_i, exactly
+    // as in the pseudo-code: only the *send* is once-only.
+    fold_min(value, origin, origin_proof);
+    if (!sent_second_ && first_set_.size() == cfg_.n - cfg_.f) {
+      sent_second_ = true;
+      first_snapshot_ = first_set_;
+      Wire relay{min_value_, min_origin_, min_origin_proof_};
+      ctx.broadcast(tag_second_, relay.encode(), kCoinMessageWords);
+    }
+    return;
+  }
+
+  // <second>
+  if (!second_set_.insert(sender).second) return;
+  fold_min(value, origin, origin_proof);
+  if (second_set_.size() == cfg_.n - cfg_.f) {
+    done_ = true;
+    output_ = min_value_.back() & 1;
+    ctx.note_decide(cfg_.tag, output_, cfg_.round);
+    if (on_done_) on_done_(output_);
+  }
+}
+
+bool SharedCoin::should_flush() const {
+  // Candidate threshold: counting every pending (not-yet-verified) share
+  // as a potential success, could the phase cross its threshold? If so
+  // flush NOW — when the pending shares do verify, the threshold action
+  // fires in this very delivery frame, exactly where the inline verifier
+  // would have fired it.
+  if (!sent_second_ &&
+      first_set_.size() + queue_.pending_first() >= cfg_.n - cfg_.f)
+    return true;
+  if (!done_ && second_set_.size() + queue_.pending_second() >= cfg_.n - cfg_.f)
+    return true;
+  return queue_.pending() >= cfg_.batcher->watermark();
+}
+
+void SharedCoin::flush_queue(sim::Context& ctx) {
+  std::vector<PendingVerifyQueue::Share> shares = queue_.take();
+  std::vector<crypto::VrfBatchEntry> entries;
+  entries.reserve(shares.size());
+  for (const PendingVerifyQueue::Share& s : shares)
+    entries.push_back(crypto::VrfBatchEntry{cfg_.registry->pk_of(s.origin),
+                                            vrf_input_, s.value,
+                                            s.origin_proof});
+  std::vector<char> verdicts;
+  BatchVerifier::FlushStats stats =
+      cfg_.batcher->verify_shares(entries, verdicts);
+  ctx.note_verify_batch(shares.size(), stats.rejects, stats.memo_hits);
+  // Arrival order + the done_/dedup guards in apply_share reproduce the
+  // inline state evolution exactly; rejected shares are simply skipped
+  // (inline: "forged value/proof: ignore").
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!verdicts[i]) continue;
+    const PendingVerifyQueue::Share& s = shares[i];
+    apply_share(ctx, s.is_first, s.sender, s.value, s.origin, s.origin_proof);
+  }
+}
+
 bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   const bool is_first = msg.tag == tag_first_;
   const bool is_second = msg.tag == tag_second_;
@@ -93,33 +159,33 @@ bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (!Wire::decode(msg.payload, wire)) return true;  // malformed: ignore
   if (is_first && wire.origin != msg.from) return true;  // firsts are own values
   if (wire.origin >= cfg_.n) return true;
-  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input_,
-                        wire.value, wire.origin_proof))
-    return true;  // forged value/proof: ignore (paper: "would expose it")
 
-  if (is_first) {
-    if (!first_set_.insert(msg.from).second) return true;
-    // Late firsts (after <second> went out) still fold into v_i, exactly
-    // as in the pseudo-code: only the *send* is once-only.
-    fold_min(wire.value, wire.origin, wire.origin_proof);
-    if (!sent_second_ && first_set_.size() == cfg_.n - cfg_.f) {
-      sent_second_ = true;
-      first_snapshot_ = first_set_;
-      Wire relay{min_value_, min_origin_, min_origin_proof_};
-      ctx.broadcast(tag_second_, relay.encode(), kCoinMessageWords);
-    }
+  if (cfg_.batcher) {
+    // Deferred path. A sender already counted for this phase can be
+    // dropped unqueued — inline would verify then hit the dedup set, with
+    // no state change. (A sender with only a PENDING share must still
+    // enqueue: its queued share might fail verification, and inline
+    // would have accepted this one.)
+    if (is_first ? first_set_.count(msg.from) != 0
+                 : second_set_.count(msg.from) != 0)
+      return true;
+    PendingVerifyQueue::Share share;
+    share.buf = msg.payload;  // refcount bump keeps the views alive
+    share.sender = msg.from;
+    share.origin = wire.origin;
+    share.is_first = is_first;
+    share.value = wire.value;
+    share.origin_proof = wire.origin_proof;
+    queue_.enqueue(std::move(share));
+    if (should_flush()) flush_queue(ctx);
     return true;
   }
 
-  // <second>
-  if (!second_set_.insert(msg.from).second) return true;
-  fold_min(wire.value, wire.origin, wire.origin_proof);
-  if (second_set_.size() == cfg_.n - cfg_.f) {
-    done_ = true;
-    output_ = min_value_.back() & 1;
-    ctx.note_decide(cfg_.tag, output_, cfg_.round);
-    if (on_done_) on_done_(output_);
-  }
+  if (!cfg_.vrf->verify(cfg_.registry->pk_of(wire.origin), vrf_input_,
+                        wire.value, wire.origin_proof))
+    return true;  // forged value/proof: ignore (paper: "would expose it")
+  apply_share(ctx, is_first, msg.from, wire.value, wire.origin,
+              wire.origin_proof);
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "coin/coin_protocol.h"
+#include "coin/verify_queue.h"
 #include "crypto/key_registry.h"
 #include "crypto/vrf.h"
 
@@ -34,6 +35,10 @@ class SharedCoin final : public CoinProtocol {
     std::size_t f = 0;
     std::shared_ptr<const crypto::Vrf> vrf;
     std::shared_ptr<const crypto::KeyRegistry> registry;
+    /// When set, share proofs are queued and batch-verified on the
+    /// thresholds described in verify_queue.h instead of inline per
+    /// message; sends/decides/outputs are bit-identical either way.
+    std::shared_ptr<BatchVerifier> batcher;
   };
 
   /// `on_done` fires exactly once, with the coin output bit.
@@ -62,6 +67,15 @@ class SharedCoin final : public CoinProtocol {
   /// Updates the running minimum with a validated (value, origin) pair.
   void fold_min(BytesView value, crypto::ProcessId origin,
                 BytesView origin_proof);
+  /// Applies one VERIFIED share — the state transition both the inline
+  /// and the deferred path share.
+  void apply_share(sim::Context& ctx, bool is_first,
+                   crypto::ProcessId sender, BytesView value,
+                   crypto::ProcessId origin, BytesView origin_proof);
+  /// Batch-verifies and applies every queued share, in arrival order.
+  void flush_queue(sim::Context& ctx);
+  /// True if a flush trigger (candidate threshold / watermark) is met.
+  bool should_flush() const;
 
   Config cfg_;
   DoneFn on_done_;
@@ -81,6 +95,8 @@ class SharedCoin final : public CoinProtocol {
   bool sent_second_ = false;
   bool done_ = false;
   int output_ = 0;
+
+  PendingVerifyQueue queue_;  // unused (always empty) without a batcher
 };
 
 }  // namespace coincidence::coin

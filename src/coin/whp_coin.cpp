@@ -104,6 +104,96 @@ void WhpCoin::start(sim::Context& ctx) {
   }
 }
 
+void WhpCoin::apply_share(sim::Context& ctx, bool is_first,
+                          crypto::ProcessId sender, BytesView value,
+                          crypto::ProcessId origin, BytesView origin_proof) {
+  if (is_first ? (!in_second_ || done_) : done_) return;  // state no-op
+  if (is_first) {
+    if (!mark_seen(first_seen_, sender)) return;
+    ++first_count_;
+    fold_min(value, origin, origin_proof);
+    if (!sent_second_ && first_count_ == cfg_.params.W) {
+      sent_second_ = true;
+      for (crypto::ProcessId p = 0; p < first_seen_.size(); ++p)
+        if (first_seen_[p]) first_snapshot_.insert(first_snapshot_.end(), p);
+      Wire relay{min_value_, min_origin_, min_origin_proof_,
+                 second_election_proof_};
+      ctx.broadcast(tag_second_, relay.encode(), kWhpCoinMessageWords);
+    }
+    return;
+  }
+
+  // <second>: every process participates in the final wait (lines 13–17).
+  if (!mark_seen(second_seen_, sender)) return;
+  ++second_count_;
+  fold_min(value, origin, origin_proof);
+  if (second_count_ == cfg_.params.W) {
+    done_ = true;
+    output_ = min_value_.back() & 1;
+    ctx.note_decide(cfg_.tag, output_, cfg_.round);
+    if (on_done_) on_done_(output_);
+  }
+}
+
+bool WhpCoin::should_flush() const {
+  // Candidate threshold (see verify_queue.h): if the pending shares
+  // could carry a phase across W, flush now so the threshold action
+  // fires in this delivery frame, like inline verification.
+  if (!sent_second_ && in_second_ &&
+      first_count_ + queue_.pending_first() >= cfg_.params.W)
+    return true;
+  if (!done_ && second_count_ + queue_.pending_second() >= cfg_.params.W)
+    return true;
+  return queue_.pending() >= cfg_.batcher->watermark();
+}
+
+void WhpCoin::flush_queue(sim::Context& ctx) {
+  std::vector<PendingVerifyQueue::Share> shares = queue_.take();
+
+  // The sender must prove membership in the phase's committee…
+  std::vector<committee::Sampler::ValCheck> checks;
+  checks.reserve(shares.size());
+  for (const PendingVerifyQueue::Share& s : shares)
+    checks.push_back(committee::Sampler::ValCheck{
+        s.is_first ? &first_seed_ : &second_seed_, s.sender,
+        s.election_proof});
+  std::vector<char> election_ok;
+  cfg_.batcher->verify_elections(checks, election_ok);
+
+  // …and the carried value must be the originator's honest VRF output.
+  // Shares that already failed the election check stay out of the VRF
+  // batch, matching the inline short-circuit.
+  std::vector<crypto::VrfBatchEntry> entries;
+  std::vector<std::size_t> entry_of;
+  entries.reserve(shares.size());
+  entry_of.reserve(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!election_ok[i]) continue;
+    const PendingVerifyQueue::Share& s = shares[i];
+    entries.push_back(crypto::VrfBatchEntry{cfg_.registry->pk_of(s.origin),
+                                            vrf_input_, s.value,
+                                            s.origin_proof});
+    entry_of.push_back(i);
+  }
+  std::vector<char> vrf_ok;
+  BatchVerifier::FlushStats stats =
+      cfg_.batcher->verify_shares(entries, vrf_ok);
+
+  std::vector<char> accept(shares.size(), 0);
+  for (std::size_t j = 0; j < entries.size(); ++j)
+    accept[entry_of[j]] = vrf_ok[j];
+  std::size_t rejects = 0;
+  for (char a : accept)
+    if (!a) ++rejects;
+  ctx.note_verify_batch(shares.size(), rejects, stats.memo_hits);
+
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!accept[i]) continue;
+    const PendingVerifyQueue::Share& s = shares[i];
+    apply_share(ctx, s.is_first, s.sender, s.value, s.origin, s.origin_proof);
+  }
+}
+
 bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   const bool is_first = msg.tag == tag_first_;
   const bool is_second = msg.tag == tag_second_;
@@ -121,6 +211,26 @@ bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
   if (wire.origin >= cfg_.params.n) return true;
   if (is_first && wire.origin != msg.from) return true;
 
+  if (cfg_.batcher) {
+    // Deferred path. Senders already counted for the phase drop here
+    // (inline: verify then fail mark_seen, no state change); senders with
+    // only PENDING shares must still enqueue — their queued share might
+    // fail verification where this one passes.
+    const std::vector<bool>& seen = is_first ? first_seen_ : second_seen_;
+    if (msg.from < seen.size() && seen[msg.from]) return true;
+    PendingVerifyQueue::Share share;
+    share.buf = msg.payload;  // refcount bump keeps the views alive
+    share.sender = msg.from;
+    share.origin = wire.origin;
+    share.is_first = is_first;
+    share.value = wire.value;
+    share.origin_proof = wire.origin_proof;
+    share.election_proof = wire.election_proof;
+    queue_.enqueue(std::move(share));
+    if (should_flush()) flush_queue(ctx);
+    return true;
+  }
+
   // The sender must prove membership in the phase's committee…
   const std::string& seed = is_first ? first_seed_ : second_seed_;
   if (!cfg_.sampler->committee_val(seed, msg.from, wire.election_proof))
@@ -130,31 +240,8 @@ bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
                         wire.value, wire.origin_proof))
     return true;
 
-  if (is_first) {
-    if (!mark_seen(first_seen_, msg.from)) return true;
-    ++first_count_;
-    fold_min(wire.value, wire.origin, wire.origin_proof);
-    if (!sent_second_ && first_count_ == cfg_.params.W) {
-      sent_second_ = true;
-      for (crypto::ProcessId p = 0; p < first_seen_.size(); ++p)
-        if (first_seen_[p]) first_snapshot_.insert(first_snapshot_.end(), p);
-      Wire relay{min_value_, min_origin_, min_origin_proof_,
-                 second_election_proof_};
-      ctx.broadcast(tag_second_, relay.encode(), kWhpCoinMessageWords);
-    }
-    return true;
-  }
-
-  // <second>: every process participates in the final wait (lines 13–17).
-  if (!mark_seen(second_seen_, msg.from)) return true;
-  ++second_count_;
-  fold_min(wire.value, wire.origin, wire.origin_proof);
-  if (second_count_ == cfg_.params.W) {
-    done_ = true;
-    output_ = min_value_.back() & 1;
-    ctx.note_decide(cfg_.tag, output_, cfg_.round);
-    if (on_done_) on_done_(output_);
-  }
+  apply_share(ctx, is_first, msg.from, wire.value, wire.origin,
+              wire.origin_proof);
   return true;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "coin/coin_protocol.h"
+#include "coin/verify_queue.h"
 #include "committee/params.h"
 #include "committee/sampler.h"
 #include "crypto/key_registry.h"
@@ -35,6 +36,10 @@ class WhpCoin final : public CoinProtocol {
     std::shared_ptr<const crypto::Vrf> vrf;
     std::shared_ptr<const crypto::KeyRegistry> registry;
     std::shared_ptr<const committee::Sampler> sampler;
+    /// When set, election + share proofs are queued and batch-verified
+    /// on the thresholds described in verify_queue.h instead of inline
+    /// per message; sends/decides/outputs are bit-identical either way.
+    std::shared_ptr<BatchVerifier> batcher;
   };
 
   using DoneFn = std::function<void(int)>;
@@ -64,6 +69,14 @@ class WhpCoin final : public CoinProtocol {
   void fold_min(BytesView value, crypto::ProcessId origin,
                 BytesView origin_proof);
   bool mark_seen(std::vector<bool>& seen, crypto::ProcessId from);
+  /// Applies one share whose election AND value proofs verified — the
+  /// state transition shared by the inline and deferred paths.
+  void apply_share(sim::Context& ctx, bool is_first,
+                   crypto::ProcessId sender, BytesView value,
+                   crypto::ProcessId origin, BytesView origin_proof);
+  /// Batch-verifies and applies every queued share, in arrival order.
+  void flush_queue(sim::Context& ctx);
+  bool should_flush() const;
 
   Config cfg_;
   DoneFn on_done_;
@@ -95,6 +108,8 @@ class WhpCoin final : public CoinProtocol {
   bool sent_second_ = false;
   bool done_ = false;
   int output_ = 0;
+
+  PendingVerifyQueue queue_;  // unused (always empty) without a batcher
 };
 
 }  // namespace coincidence::coin

@@ -49,6 +49,47 @@ bool Sampler::committee_val(const std::string& seed, ProcessId i,
   return crypto::vrf_value_as_unit_double(value) < lambda_over_n_;
 }
 
+void Sampler::committee_val_batch(std::span<const ValCheck> checks,
+                                  std::vector<char>& out) const {
+  out.assign(checks.size(), 0);
+  // Structural pass, mirroring committee_val: checks that fail registry
+  // lookup / decoding are rejected without entering the VRF batch.
+  std::vector<Bytes> inputs(checks.size());  // owns the VRF input bytes
+  std::vector<crypto::VrfBatchEntry> entries;
+  std::vector<std::size_t> entry_of;  // entries[j] came from checks[entry_of[j]]
+  entries.reserve(checks.size());
+  entry_of.reserve(checks.size());
+  std::vector<BytesView> values(checks.size());
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const ValCheck& c = checks[i];
+    if (!registry_->has(c.id)) continue;
+    BytesView value, vrf_proof;
+    try {
+      Reader r(c.proof);
+      value = r.blob_view();
+      vrf_proof = r.blob_view();
+      r.done();
+    } catch (const CodecError&) {
+      continue;
+    }
+    if (value.size() < 8) continue;
+    inputs[i] = vrf_input(*c.seed);
+    values[i] = value;
+    entries.push_back(crypto::VrfBatchEntry{registry_->pk_of(c.id), inputs[i],
+                                            value, vrf_proof});
+    entry_of.push_back(i);
+  }
+  std::vector<char> verdicts;
+  vrf_->batch_verify(entries, verdicts);
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    std::size_t i = entry_of[j];
+    out[i] = (verdicts[j] &&
+              crypto::vrf_value_as_unit_double(values[i]) < lambda_over_n_)
+                 ? 1
+                 : 0;
+  }
+}
+
 CachingSampler::CachingSampler(
     std::shared_ptr<const crypto::Vrf> vrf,
     std::shared_ptr<const crypto::KeyRegistry> registry, double lambda_over_n)
@@ -96,6 +137,33 @@ bool CachingSampler::committee_val(const std::string& seed, ProcessId i,
   bool ok = Sampler::committee_val(seed, i, proof);
   val_cache_.emplace(std::move(key), ok);
   return ok;
+}
+
+void CachingSampler::committee_val_batch(std::span<const ValCheck> checks,
+                                         std::vector<char>& out) const {
+  out.assign(checks.size(), 0);
+  std::vector<CacheKey> keys(checks.size());
+  std::vector<ValCheck> misses;
+  std::vector<std::size_t> miss_of;  // misses[j] is checks[miss_of[j]]
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    keys[i] = make_key(checks[i].id, *checks[i].seed, checks[i].proof);
+    auto it = val_cache_.find(keys[i]);
+    if (it != val_cache_.end()) {
+      out[i] = it->second ? 1 : 0;
+    } else {
+      misses.push_back(checks[i]);
+      miss_of.push_back(i);
+    }
+  }
+  if (misses.empty()) return;
+  std::vector<char> verdicts;
+  Sampler::committee_val_batch(misses, verdicts);
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    std::size_t i = miss_of[j];
+    out[i] = verdicts[j];
+    // A batch may carry the same tuple twice; emplace keeps the first.
+    val_cache_.emplace(std::move(keys[i]), verdicts[j] != 0);
+  }
 }
 
 }  // namespace coincidence::committee

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/key_registry.h"
@@ -44,6 +46,21 @@ class Sampler {
   virtual bool committee_val(const std::string& seed, ProcessId i,
                              BytesView proof) const;
 
+  /// One committee-val check of a batch. `seed` is non-owning and must
+  /// outlive the committee_val_batch call.
+  struct ValCheck {
+    const std::string* seed = nullptr;
+    ProcessId id = 0;
+    BytesView proof;
+  };
+
+  /// Batched committee-val: on return out[i] == committee_val(
+  /// *checks[i].seed, checks[i].id, checks[i].proof), out sized to match.
+  /// All underlying VRF verifications fold into ONE Vrf::batch_verify
+  /// call — a near-k-fold multi-exp amortization on the DDH backend.
+  virtual void committee_val_batch(std::span<const ValCheck> checks,
+                                   std::vector<char>& out) const;
+
   double threshold() const { return lambda_over_n_; }
 
  private:
@@ -69,6 +86,11 @@ class CachingSampler final : public Sampler {
   Election sample(ProcessId i, const std::string& seed) const override;
   bool committee_val(const std::string& seed, ProcessId i,
                      BytesView proof) const override;
+  /// Probes the verdict cache per check and batches only the misses
+  /// (then caches their verdicts), so the approver's repeated ok-proof
+  /// validations still collapse to one verification each.
+  void committee_val_batch(std::span<const ValCheck> checks,
+                           std::vector<char>& out) const override;
 
   std::size_t sample_cache_size() const { return sample_cache_.size(); }
   std::size_t val_cache_size() const { return val_cache_.size(); }

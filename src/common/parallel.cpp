@@ -1,0 +1,86 @@
+#include "common/parallel.h"
+
+namespace coincidence {
+
+std::size_t default_thread_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body;
+    std::size_t count;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    work(*body, count);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work(const std::function<void(std::size_t)>& body,
+                      std::size_t count) {
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      if (!err_ || i < err_index_) {
+        err_ = std::current_exception();
+        err_index_ = i;
+      }
+    }
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+    err_ = nullptr;
+  }
+  work_cv_.notify_all();
+  work(body, count);  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    body_ = nullptr;
+  }
+  if (err_) std::rethrow_exception(err_);
+}
+
+}  // namespace coincidence

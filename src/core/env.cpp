@@ -14,6 +14,8 @@ Env build(committee::Params params, std::size_t n, std::uint64_t seed) {
   env.sampler = std::make_shared<committee::CachingSampler>(
       env.vrf, env.registry, env.params.sample_prob());
   env.signer = std::make_shared<crypto::Signer>(env.registry);
+  env.batcher = std::make_shared<coin::BatchVerifier>(
+      coin::BatchVerifier::Config{env.vrf, env.sampler});
   return env;
 }
 }  // namespace
@@ -38,6 +40,9 @@ Env Env::make_relaxed_ddh(std::size_t n, std::uint64_t seed,
   env.params = committee::Params::derive(n, 0.25, 0.02, /*strict=*/false);
   auto vrf = std::make_shared<crypto::DdhVrf>(
       crypto::PrimeGroup::generate(group_bits, seed));
+  // Ties the batch-verification DRBG combiner to the session seed, so
+  // replays of a run fold proofs under identical scalars.
+  vrf->set_batch_seed(seed);
   auto registry = std::make_shared<crypto::KeyRegistry>();
   Rng rng(seed ^ 0xdd11dd11dd11dd11ULL);
   for (std::size_t i = 0; i < n; ++i) {
@@ -50,6 +55,8 @@ Env Env::make_relaxed_ddh(std::size_t n, std::uint64_t seed,
   env.sampler = std::make_shared<committee::CachingSampler>(
       env.vrf, env.registry, env.params.sample_prob());
   env.signer = std::make_shared<crypto::Signer>(env.registry);
+  env.batcher = std::make_shared<coin::BatchVerifier>(
+      coin::BatchVerifier::Config{env.vrf, env.sampler});
   return env;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "coin/verify_queue.h"
 #include "committee/params.h"
 #include "committee/sampler.h"
 #include "crypto/key_registry.h"
@@ -22,6 +23,12 @@ struct Env {
   std::shared_ptr<crypto::Vrf> vrf;
   std::shared_ptr<committee::Sampler> sampler;
   std::shared_ptr<crypto::Signer> signer;
+  /// Shared batch-verification service (coin/verify_queue.h): memoized,
+  /// folded VRF + election checks for every process of a run. Like the
+  /// sampler's cache it assumes single-threaded use — share it within
+  /// one Simulation, never across concurrently-running ones (each
+  /// run_agreement builds its own Env, so parallel drivers are safe).
+  std::shared_ptr<coin::BatchVerifier> batcher;
 
   std::size_t n() const { return params.n; }
   std::size_t f() const { return params.f; }

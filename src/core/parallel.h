@@ -1,85 +1,27 @@
-// Parallel experiment driver: a small thread pool plus order-preserving
-// fan-out helpers for the repo's embarrassingly parallel workloads —
-// chaos sweeps, coin success-rate estimates, word-scaling curves.
+// Parallel experiment driver: order-preserving fan-out of run_agreement
+// calls for the repo's embarrassingly parallel workloads — chaos sweeps,
+// coin success-rate estimates, word-scaling curves.
+//
+// The pool itself lives in common/parallel.h (so lower layers like the
+// coin batch verifier can use it too); this header re-exports the names
+// under core:: for existing callers and adds the runner-level helper.
 //
 // Each run_agreement() call builds its own Env/Simulation and draws all
 // randomness from its seeded RunOptions, so independent runs share no
-// mutable state. The helpers here exploit that: work items execute on
-// whatever thread grabs them, but results are stored by input index, so
-// the output vector is bit-identical to a serial loop over the same
-// options regardless of thread count or scheduling.
+// mutable state. Work items execute on whatever thread grabs them, but
+// results are stored by input index, so the output vector is
+// bit-identical to a serial loop over the same options regardless of
+// thread count or scheduling.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <cstdint>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
-
+#include "common/parallel.h"
 #include "core/runner.h"
 
 namespace coincidence::core {
 
-/// Hardware concurrency, clamped to at least 1 (the standard allows 0).
-std::size_t default_thread_count();
-
-/// Fixed-size pool of worker threads with a shared atomic work queue.
-/// The calling thread participates in every job, so a pool constructed
-/// with `threads == 1` runs everything inline on the caller — handy for
-/// A/B-ing parallel against serial execution in tests.
-class ThreadPool {
- public:
-  /// `threads` is the TOTAL worker count including the calling thread;
-  /// 0 means default_thread_count().
-  explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Total workers, including the calling thread.
-  std::size_t size() const { return workers_.size() + 1; }
-
-  /// Runs body(i) once for every i in [0, count), distributing indices
-  /// over the pool via an atomic counter, and blocks until all complete.
-  /// If any invocations throw, the exception of the LOWEST failing index
-  /// is rethrown (a deterministic choice independent of scheduling).
-  void for_each_index(std::size_t count,
-                      const std::function<void(std::size_t)>& body);
-
- private:
-  void worker_loop();
-  void work(const std::function<void(std::size_t)>& body, std::size_t count);
-
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;       // workers still inside the current job
-  std::uint64_t generation_ = 0; // bumped per job so workers wake exactly once
-  bool stop_ = false;
-
-  std::mutex err_mu_;
-  std::exception_ptr err_;
-  std::size_t err_index_ = 0;
-};
-
-/// Maps fn over [0, count) on the pool, returning results in input order.
-/// R must be default-constructible (slot storage before fn(i) fills it).
-template <typename Fn>
-auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
-    -> std::vector<decltype(fn(std::size_t{}))> {
-  std::vector<decltype(fn(std::size_t{}))> out(count);
-  pool.for_each_index(count, [&](std::size_t i) { out[i] = fn(i); });
-  return out;
-}
+using coincidence::default_thread_count;
+using coincidence::parallel_map;
+using coincidence::ThreadPool;
 
 /// Runs every RunOptions to completion on the pool. reports[i] is the
 /// report for options[i], byte-identical to calling run_agreement(

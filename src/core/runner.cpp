@@ -162,8 +162,9 @@ RunReport run_agreement(const RunOptions& options,
         cfg.n = options.n;
         cfg.f = f;
         cfg.max_rounds = options.max_rounds;
-        cfg.make_coin = [env, n = options.n, f](std::uint64_t round,
-                                                const std::string& tag) {
+        cfg.make_coin = [env, n = options.n, f,
+                         defer = options.defer_verify](
+                            std::uint64_t round, const std::string& tag) {
           coin::SharedCoin::Config ccfg;
           ccfg.tag = tag;
           ccfg.round = round;
@@ -171,6 +172,7 @@ RunReport run_agreement(const RunOptions& options,
           ccfg.f = f;
           ccfg.vrf = env.vrf;
           ccfg.registry = env.registry;
+          if (defer) ccfg.batcher = env.batcher;
           return std::make_unique<coin::SharedCoin>(ccfg);
         };
         return std::make_unique<ba::Mmr>(cfg, input);
@@ -181,7 +183,8 @@ RunReport run_agreement(const RunOptions& options,
         cfg.n = options.n;
         cfg.f = f;
         cfg.max_rounds = options.max_rounds;
-        cfg.make_coin = [env](std::uint64_t round, const std::string& tag) {
+        cfg.make_coin = [env, defer = options.defer_verify](
+                            std::uint64_t round, const std::string& tag) {
           coin::WhpCoin::Config ccfg;
           ccfg.tag = tag;
           ccfg.round = round;
@@ -189,6 +192,7 @@ RunReport run_agreement(const RunOptions& options,
           ccfg.vrf = env.vrf;
           ccfg.registry = env.registry;
           ccfg.sampler = env.sampler;
+          if (defer) ccfg.batcher = env.batcher;
           return std::make_unique<coin::WhpCoin>(ccfg);
         };
         return std::make_unique<ba::Mmr>(cfg, input);
@@ -217,6 +221,7 @@ RunReport run_agreement(const RunOptions& options,
         cfg.registry = env.registry;
         cfg.sampler = env.sampler;
         cfg.signer = env.signer;
+        if (options.defer_verify) cfg.batcher = env.batcher;
         cfg.max_rounds = options.max_rounds;
         return std::make_unique<ba::BaWhp>(cfg, input);
       }
@@ -289,6 +294,10 @@ RunReport run_agreement(const RunOptions& options,
   report.retransmit_words = sim.metrics().retransmit_words();
   report.dead_letters = sim.metrics().dead_letters();
   report.dead_letter_words = sim.metrics().dead_letter_words();
+  report.verify_flushes = sim.metrics().verify_flushes();
+  report.verify_shares = sim.metrics().verify_shares();
+  report.verify_rejects = sim.metrics().verify_rejects();
+  report.verify_memo_hits = sim.metrics().verify_memo_hits();
   for (sim::ProcessId i = 0; i < options.n; ++i)
     report.duration = std::max(report.duration, sim.depth_of(i));
   if (instruments.metrics_out) instruments.metrics_out(sim.metrics());

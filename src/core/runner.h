@@ -85,6 +85,14 @@ struct RunOptions {
   /// framing; retransmission words are reported separately.
   bool reliable_channel = false;
 
+  /// Routes coin-share and election-proof checks through the Env's
+  /// BatchVerifier (deferred queues + folded batch verification,
+  /// coin/verify_queue.h) instead of inline per-message verification.
+  /// Decisions, sends and metrics words are bit-identical either way;
+  /// only the verify_* counters (and wall-clock) differ. Applies to the
+  /// VRF-backed protocols (kBaWhp, kMmrWhpCoin, kMmrSharedCoin).
+  bool defer_verify = true;
+
   std::uint64_t max_rounds = 64;
 };
 
@@ -110,6 +118,15 @@ struct RunReport {
   // surfaced so lossy runs can assert every loss is accounted for.
   std::uint64_t dead_letters = 0;
   std::uint64_t dead_letter_words = 0;
+
+  // Deferred-verification accounting (zero with defer_verify off or for
+  // protocols without VRF proofs). Rejected shares were discarded
+  // without entering protocol state — the batched analogue of an inline
+  // verification failure.
+  std::uint64_t verify_flushes = 0;
+  std::uint64_t verify_shares = 0;
+  std::uint64_t verify_rejects = 0;
+  std::uint64_t verify_memo_hits = 0;
 };
 
 /// Instrumentation to attach to a run without changing its behaviour:

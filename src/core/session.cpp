@@ -73,6 +73,7 @@ SessionReport Session::run_concurrent_slots(
       bcfg.registry = env_.registry;
       bcfg.sampler = env_.sampler;
       bcfg.signer = env_.signer;
+      if (defer_verify_) bcfg.batcher = env_.batcher;
       bcfg.max_rounds = max_rounds;
       mux->add_instance("slot" + std::to_string(slot),
                         std::make_unique<ba::BaWhp>(bcfg, inputs[slot][i]));

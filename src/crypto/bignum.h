@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,7 @@ namespace coincidence::crypto {
 
 class Bignum;
 struct DivMod;
+struct MultiExpTerm;
 /// Knuth Algorithm D; throws PreconditionError on division by zero.
 DivMod divmod(const Bignum& u, const Bignum& v);
 
@@ -112,6 +114,12 @@ struct DivMod {
   Bignum remainder;
 };
 
+/// One term of a multi-exponentiation (see MontgomeryCtx::multi_exp).
+struct MultiExpTerm {
+  Bignum base;
+  Bignum exp;
+};
+
 /// Montgomery-form modular arithmetic for a fixed odd modulus m.
 ///
 /// Precomputes n' = -m⁻¹ mod 2⁶⁴ and R² mod m (R = 2^(64·k), k = limb
@@ -148,6 +156,13 @@ class MontgomeryCtx {
   /// exponentiations — the dominant cost of a DLEQ verification.
   Bignum dual_exp(const Bignum& a, const Bignum& ea, const Bignum& b,
                   const Bignum& eb) const;
+
+  /// Π termᵢ.base ^ termᵢ.exp mod m. Pippenger's bucket method: one
+  /// shared squaring chain over the longest exponent, with a window size
+  /// chosen from the term count; below ~8 terms the bucket bookkeeping
+  /// doesn't amortize, so the Straus dual_exp ladder is chained pairwise
+  /// instead. Empty input returns 1 mod m.
+  Bignum multi_exp(std::span<const MultiExpTerm> terms) const;
 
  private:
   using Limbs = std::vector<std::uint64_t>;  // fixed k-limb little-endian

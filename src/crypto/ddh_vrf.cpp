@@ -1,11 +1,28 @@
 #include "crypto/ddh_vrf.h"
 
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
 #include "common/errors.h"
 #include "common/ser.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
 namespace coincidence::crypto {
+
+/// Batch-verification working state for one proof: the parsed group
+/// elements, the recomputed challenge, and (for multi-entry batches) the
+/// 128-bit combiner scalars.
+struct DdhVrf::ParsedEntry {
+  Bignum pk, gamma, a, b, s;
+  Bignum c;               // recomputed 128-bit challenge
+  Bignum h;               // H1(input)
+  Bignum z, w;            // combiner scalars (set when the batch has ≥ 2)
+  std::size_t input_id = 0;  // dense id over the batch's distinct inputs
+};
 
 DdhVrf::DdhVrf(PrimeGroup group) : group_(std::move(group)) {}
 
@@ -29,7 +46,14 @@ Bignum DdhVrf::challenge(const Bignum& h, const Bignum& pk,
       .blob(group_.encode(gamma))
       .blob(group_.encode(a))
       .blob(group_.encode(b));
-  return group_.hash_to_scalar(w.bytes());
+  // 128-bit Fiat–Shamir challenge (ECVRF-style truncation): 2⁻¹²⁸
+  // soundness, and short enough that the batch combination's per-entry
+  // exponents zᵢcᵢ stay ≤ 256 bits. The tiny unit-test groups have
+  // q < 2¹²⁸, hence the reduction.
+  Digest d = sha256(concat({bytes_of("h3"), BytesView(w.bytes())}));
+  Bignum c = Bignum::from_bytes_be(BytesView(d.data(), 16));
+  if (c >= group_.q()) c = c % group_.q();
+  return c;
 }
 
 VrfOutput DdhVrf::eval(BytesView sk_bytes, BytesView input) const {
@@ -56,40 +80,191 @@ VrfOutput DdhVrf::eval(BytesView sk_bytes, BytesView input) const {
 
   Bytes y = sha256_bytes(concat({bytes_of("h2"), group_.encode(gamma)}));
 
+  // The proof ships the commitments (Γ, a, b, s) — not the compressed
+  // (Γ, c, s) — so verifiers can fold many proofs into one random linear
+  // combination (see batch_verify).
   Writer proof;
   proof.blob(group_.encode(gamma))
-      .blob(c.to_bytes_be(group_.byte_len()))
+      .blob(group_.encode(a))
+      .blob(group_.encode(b))
       .blob(s.to_bytes_be(group_.byte_len()));
   return {y, proof.take()};
 }
 
 bool DdhVrf::verify(BytesView pk_bytes, BytesView input,
                     const VrfOutput& out) const {
-  Bignum gamma, c, s;
+  return verify(pk_bytes, input, BytesView(out.value), BytesView(out.proof));
+}
+
+bool DdhVrf::verify(BytesView pk_bytes, BytesView input, BytesView value,
+                    BytesView proof) const {
+  Bignum gamma, a, b, s;
   try {
-    Reader r(out.proof);
-    gamma = Bignum::from_bytes_be(r.blob());
-    c = Bignum::from_bytes_be(r.blob());
-    s = Bignum::from_bytes_be(r.blob());
+    Reader r(proof);
+    gamma = Bignum::from_bytes_be(r.blob_view());
+    a = Bignum::from_bytes_be(r.blob_view());
+    b = Bignum::from_bytes_be(r.blob_view());
+    s = Bignum::from_bytes_be(r.blob_view());
     r.done();
   } catch (const CodecError&) {
     return false;
   }
 
   Bignum pk = Bignum::from_bytes_be(pk_bytes);
-  if (!group_.is_element(pk) || !group_.is_element(gamma)) return false;
-  if (c >= group_.q() || s >= group_.q()) return false;
+  if (!group_.is_element(pk) || !group_.is_element(gamma) ||
+      !group_.is_element(a) || !group_.is_element(b))
+    return false;
+  if (s >= group_.q()) return false;
 
   Bignum h = group_.hash_to_group(input);
-  // a' = g^s · pk^c and b' = h^s · Γ^c, each as ONE Straus/Shamir ladder:
+  Bignum c = challenge(h, pk, gamma, a, b);
+  // a == g^s · pk^c and b == h^s · Γ^c, each as ONE Straus/Shamir ladder:
   // the squarings — the dominant cost — are shared between the paired
   // exponentiations instead of paid twice.
-  Bignum a = group_.dual_exp(group_.g(), s, pk, c);
-  Bignum b = group_.dual_exp(h, s, gamma, c);
-  if (challenge(h, pk, gamma, a, b) != c) return false;
+  if (group_.dual_exp(group_.g(), s, pk, c) != a) return false;
+  if (group_.dual_exp(h, s, gamma, c) != b) return false;
 
   Bytes y = sha256_bytes(concat({bytes_of("h2"), group_.encode(gamma)}));
-  return ct_equal(y, out.value);
+  return ct_equal(y, value);
+}
+
+bool DdhVrf::check_single(const ParsedEntry& e) const {
+  return group_.dual_exp(group_.g(), e.s, e.pk, e.c) == e.a &&
+         group_.dual_exp(e.h, e.s, e.gamma, e.c) == e.b;
+}
+
+bool DdhVrf::check_subset(const std::vector<ParsedEntry>& parsed,
+                          const std::vector<std::size_t>& subset) const {
+  const Bignum& q = group_.q();
+  // LHS: Π aᵢ^zᵢ · bᵢ^wᵢ — exponents ≤ 128 bits.
+  // RHS: Π pkᵢ^(zᵢcᵢ) · Γᵢ^(wᵢcᵢ) — exponents ≤ 256 bits — times the
+  // full-width residual folded onto the FIXED bases: g^(Σzᵢsᵢ) on the
+  // comb table, and one exponentiation per distinct input for
+  // H1(x)^(Σwᵢsᵢ). Keeping the full-width exponents off the Pippenger
+  // terms is what keeps the shared squaring chains short.
+  std::vector<MultiExpTerm> lhs, rhs;
+  lhs.reserve(2 * subset.size());
+  rhs.reserve(2 * subset.size());
+  Bignum sum_zs;
+  // input_id → (h, Σ wᵢsᵢ); std::map for a deterministic fold order.
+  std::map<std::size_t, std::pair<const Bignum*, Bignum>> by_input;
+  for (std::size_t i : subset) {
+    const ParsedEntry& e = parsed[i];
+    lhs.push_back({e.a, e.z});
+    lhs.push_back({e.b, e.w});
+    rhs.push_back({e.pk, Bignum::mul_mod(e.z, e.c, q)});
+    rhs.push_back({e.gamma, Bignum::mul_mod(e.w, e.c, q)});
+    sum_zs = Bignum::add_mod(sum_zs, Bignum::mul_mod(e.z, e.s, q), q);
+    auto [it, fresh] = by_input.try_emplace(e.input_id, &e.h, Bignum());
+    it->second.second =
+        Bignum::add_mod(it->second.second, Bignum::mul_mod(e.w, e.s, q), q);
+  }
+  Bignum left = group_.multi_exp(lhs);
+  Bignum right = group_.multi_exp(rhs);
+  right = group_.mul(right, group_.exp_g(sum_zs));
+  for (const auto& [id, hw] : by_input)
+    right = group_.mul(right, group_.exp(*hw.first, hw.second));
+  return left == right;
+}
+
+void DdhVrf::batch_verify(std::span<const VrfBatchEntry> entries,
+                          std::vector<char>& out) const {
+  out.assign(entries.size(), 0);
+  if (entries.empty()) return;
+
+  // Structural pass: parse, subgroup-check and y-bind every entry exactly
+  // as verify() does. Entries failing here are rejected outright and
+  // never enter the combination (a non-element could defeat it: a stray
+  // order-2 component survives a random combination with probability
+  // 1/2). `live` keeps batch order, so scalar derivation is order-stable.
+  std::vector<ParsedEntry> parsed(entries.size());
+  std::vector<std::size_t> live;
+  live.reserve(entries.size());
+  std::unordered_map<std::string, std::size_t> input_ids;
+  std::vector<Bignum> hs;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const VrfBatchEntry& e = entries[i];
+    ParsedEntry& p = parsed[i];
+    try {
+      Reader r(e.proof);
+      p.gamma = Bignum::from_bytes_be(r.blob_view());
+      p.a = Bignum::from_bytes_be(r.blob_view());
+      p.b = Bignum::from_bytes_be(r.blob_view());
+      p.s = Bignum::from_bytes_be(r.blob_view());
+      r.done();
+    } catch (const CodecError&) {
+      continue;
+    }
+    p.pk = Bignum::from_bytes_be(e.pk);
+    if (!group_.is_element(p.pk) || !group_.is_element(p.gamma) ||
+        !group_.is_element(p.a) || !group_.is_element(p.b))
+      continue;
+    if (p.s >= group_.q()) continue;
+    Bytes y = sha256_bytes(concat({bytes_of("h2"), group_.encode(p.gamma)}));
+    if (!ct_equal(y, e.value)) continue;
+
+    std::string key(e.input.begin(), e.input.end());
+    auto [it, fresh] = input_ids.emplace(std::move(key), hs.size());
+    if (fresh) hs.push_back(group_.hash_to_group(e.input));
+    p.input_id = it->second;
+    p.h = hs[it->second];
+    p.c = challenge(p.h, p.pk, p.gamma, p.a, p.b);
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    out[live[0]] = check_single(parsed[live[0]]) ? 1 : 0;
+    return;
+  }
+
+  // Combiner scalars: content-addressed — seeded from the session's
+  // batch seed plus a hash of every surviving entry's bytes — so a
+  // replayed run (at any thread count) derives the identical zᵢ, wᵢ. The
+  // scalars are independent per entry; sharing one scalar between the
+  // two equations would let an adversary cancel forged terms across
+  // them.
+  Writer transcript;
+  for (std::size_t i : live)
+    transcript.blob(entries[i].pk)
+        .blob(entries[i].input)
+        .blob(entries[i].value)
+        .blob(entries[i].proof);
+  HmacDrbg drbg(concat({bytes_of("batch-dleq"), bytes_of_u64(batch_seed_),
+                        sha256_bytes(transcript.bytes())}));
+  for (std::size_t i : live) {
+    ParsedEntry& p = parsed[i];
+    p.z = Bignum::from_bytes_be(drbg.generate(16)) % group_.q();
+    if (p.z.is_zero()) p.z = Bignum(1);
+    p.w = Bignum::from_bytes_be(drbg.generate(16)) % group_.q();
+    if (p.w.is_zero()) p.w = Bignum(1);
+  }
+
+  if (check_subset(parsed, live)) {
+    for (std::size_t i : live) out[i] = 1;
+    return;
+  }
+
+  // Binary-split attribution: a failing subset splits in half and each
+  // half re-checks, isolating the bad entries in O(bad·log k) subset
+  // multi-exps. Singletons are decided by the exact per-proof equations,
+  // so the final verdicts match verify() bit-for-bit.
+  std::function<void(const std::vector<std::size_t>&)> attribute =
+      [&](const std::vector<std::size_t>& subset) {
+        std::size_t mid = subset.size() / 2;
+        std::vector<std::size_t> halves[2] = {
+            {subset.begin(), subset.begin() + mid},
+            {subset.begin() + mid, subset.end()}};
+        for (const std::vector<std::size_t>& half : halves) {
+          if (half.size() == 1) {
+            out[half[0]] = check_single(parsed[half[0]]) ? 1 : 0;
+          } else if (check_subset(parsed, half)) {
+            for (std::size_t i : half) out[i] = 1;
+          } else {
+            attribute(half);
+          }
+        }
+      };
+  attribute(live);
 }
 
 }  // namespace coincidence::crypto

@@ -117,6 +117,14 @@ SafePrime generate_safe_prime(std::size_t bits, std::uint64_t seed) {
   }
 }
 
+const Bignum& rfc2409_prime_768() {
+  static const Bignum p = Bignum::from_hex(
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+      "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+      "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF");
+  return p;
+}
+
 const Bignum& rfc3526_prime_1536() {
   static const Bignum p = Bignum::from_hex(
       "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"

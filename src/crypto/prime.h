@@ -25,6 +25,10 @@ struct SafePrime {
 };
 SafePrime generate_safe_prime(std::size_t bits, std::uint64_t seed);
 
+/// RFC 2409 Oakley group 1 modulus (768-bit safe prime) — the smaller
+/// production-shaped group the batch-verification benches sweep against.
+const Bignum& rfc2409_prime_768();
+
 /// RFC 3526 group 5 modulus (1536-bit safe prime), for production-size use.
 const Bignum& rfc3526_prime_1536();
 

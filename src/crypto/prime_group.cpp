@@ -30,6 +30,12 @@ PrimeGroup PrimeGroup::generate(std::size_t bits, std::uint64_t seed) {
   return PrimeGroup(sp.p, sp.q, Bignum(4));
 }
 
+PrimeGroup PrimeGroup::rfc2409_768() {
+  const Bignum& p = rfc2409_prime_768();
+  Bignum q = (p - Bignum(1)) >> 1;
+  return PrimeGroup(p, q, Bignum(4));
+}
+
 PrimeGroup PrimeGroup::rfc3526_1536() {
   const Bignum& p = rfc3526_prime_1536();
   Bignum q = (p - Bignum(1)) >> 1;

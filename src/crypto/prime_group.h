@@ -32,6 +32,10 @@ class PrimeGroup {
   /// Deterministically generates a fresh safe-prime group of `bits` bits.
   static PrimeGroup generate(std::size_t bits, std::uint64_t seed);
 
+  /// The RFC 2409 768-bit group (primality assumed, not re-verified, so
+  /// construction is instant).
+  static PrimeGroup rfc2409_768();
+
   /// The RFC 3526 1536-bit group (primality assumed, not re-verified, so
   /// construction is instant).
   static PrimeGroup rfc3526_1536();
@@ -49,6 +53,13 @@ class PrimeGroup {
   /// barely more than ONE exponentiation instead of two.
   Bignum dual_exp(const Bignum& a, const Bignum& ea, const Bignum& b,
                   const Bignum& eb) const;
+  /// Π termᵢ.base ^ termᵢ.exp mod p — Pippenger bucket multi-exp (falls
+  /// back to chained Straus ladders below ~8 terms). The engine of batch
+  /// DLEQ verification: k proofs fold into two multi-exps over short
+  /// (128/256-bit) exponents instead of 2k full-width dual ladders.
+  Bignum multi_exp(std::span<const MultiExpTerm> terms) const {
+    return ctx_->multi_exp(terms);
+  }
   /// a*b mod p.
   Bignum mul(const Bignum& a, const Bignum& b) const;
   /// Multiplicative inverse mod p.

@@ -1,0 +1,49 @@
+#include "crypto/verify_memo.h"
+
+namespace coincidence::crypto {
+
+namespace {
+
+// FNV-1a, with a length marker between fields so (pk="ab", input="c")
+// and (pk="a", input="bc") fingerprint differently.
+std::uint64_t fnv1a(std::uint64_t h, BytesView data) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  h ^= data.size();
+  h *= kPrime;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+VerifyMemo::Key VerifyMemo::make_key(const VrfBatchEntry& e) {
+  std::uint64_t fp = 1469598103934665603ULL;  // FNV offset basis
+  fp = fnv1a(fp, e.pk);
+  fp = fnv1a(fp, e.input);
+  fp = fnv1a(fp, e.value);
+  fp = fnv1a(fp, e.proof);
+  return Key{fp,
+             Bytes(e.pk.begin(), e.pk.end()),
+             Bytes(e.input.begin(), e.input.end()),
+             Bytes(e.value.begin(), e.value.end()),
+             Bytes(e.proof.begin(), e.proof.end())};
+}
+
+std::optional<bool> VerifyMemo::lookup(const VrfBatchEntry& e) const {
+  auto it = memo_.find(make_key(e));
+  if (it == memo_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void VerifyMemo::store(const VrfBatchEntry& e, bool ok) {
+  memo_[make_key(e)] = ok;
+}
+
+}  // namespace coincidence::crypto

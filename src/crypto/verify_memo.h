@@ -1,0 +1,57 @@
+// Verified-share memo: a result cache over (pk, input, value, proof)
+// tuples, keyed the same way as committee/CachingSampler — an FNV-1a
+// fingerprint for the hash table plus the full bytes for exact equality.
+//
+// Lossy links duplicate and replay coin shares verbatim (see
+// sim::NetworkProfile); with deferred batch verification those copies
+// would otherwise re-enter a batch and pay the multi-exp again. The memo
+// makes every re-delivered tuple a dictionary hit. Negative results are
+// cached too: a forged share replayed n times costs one verification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "crypto/vrf.h"
+
+namespace coincidence::crypto {
+
+class VerifyMemo {
+ public:
+  /// The cached verdict for `e`, if any. Counts a hit or miss.
+  std::optional<bool> lookup(const VrfBatchEntry& e) const;
+
+  /// Records the verdict for `e` (overwrites on the unlikely re-store).
+  void store(const VrfBatchEntry& e, bool ok);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return memo_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint;
+    Bytes pk, input, value, proof;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.fingerprint == b.fingerprint && a.pk == b.pk &&
+             a.input == b.input && a.value == b.value && a.proof == b.proof;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.fingerprint);
+    }
+  };
+
+  static Key make_key(const VrfBatchEntry& e);
+
+  std::unordered_map<Key, bool, KeyHash> memo_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace coincidence::crypto

@@ -4,6 +4,15 @@
 
 namespace coincidence::crypto {
 
+void Vrf::batch_verify(std::span<const VrfBatchEntry> entries,
+                       std::vector<char>& out) const {
+  out.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const VrfBatchEntry& e = entries[i];
+    out[i] = verify(e.pk, e.input, e.value, e.proof) ? 1 : 0;
+  }
+}
+
 std::uint64_t vrf_value_as_u64(BytesView value) {
   COIN_REQUIRE(value.size() >= 8, "vrf value too short");
   return u64_of_bytes(value);

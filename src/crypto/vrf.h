@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -28,6 +30,16 @@ struct VrfKeyPair {
 struct VrfOutput {
   Bytes value;  // the pseudorandom output y (32 bytes for both backends)
   Bytes proof;  // the correctness proof π
+};
+
+/// One (pk, input, value, proof) tuple of a batch verification. Views
+/// must outlive the batch_verify call; they typically point into retained
+/// wire buffers.
+struct VrfBatchEntry {
+  BytesView pk;
+  BytesView input;
+  BytesView value;
+  BytesView proof;
 };
 
 class Vrf {
@@ -53,6 +65,16 @@ class Vrf {
                   VrfOutput{Bytes(value.begin(), value.end()),
                             Bytes(proof.begin(), proof.end())});
   }
+
+  /// Verifies a whole batch: on return out[i] == verify(entries[i]...)
+  /// for every i, and out.size() == entries.size(). The default loops the
+  /// view-based verify — already the right thing for cheap backends like
+  /// FastVrf — while DdhVrf overrides it with random-linear-combination
+  /// batching. Protocols call this regardless of backend. `out` is a
+  /// vector<char> (not <bool>) so chunked parallel flushes can fill
+  /// disjoint slots without data races.
+  virtual void batch_verify(std::span<const VrfBatchEntry> entries,
+                            std::vector<char>& out) const;
 
   /// Length in bytes of the output value y.
   virtual std::size_t value_size() const = 0;

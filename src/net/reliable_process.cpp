@@ -53,6 +53,10 @@ class ReliableProcess::ChannelContext final : public sim::Context {
                         std::size_t words) override {
     outer().note_dead_letter(to, tag, words);
   }
+  void note_verify_batch(std::size_t shares, std::size_t rejects,
+                         std::size_t memo_hits) override {
+    outer().note_verify_batch(shares, rejects, memo_hits);
+  }
 
  private:
   sim::Context& outer() const {

@@ -215,7 +215,11 @@ void Metrics::to_json(std::ostream& os) const {
      << ",\"retransmits\":" << retransmits_
      << ",\"retransmit_words\":" << retransmit_words_
      << ",\"dead_letters\":" << dead_letters_
-     << ",\"dead_letter_words\":" << dead_letter_words_ << '}';
+     << ",\"dead_letter_words\":" << dead_letter_words_
+     << ",\"verify_flushes\":" << verify_flushes_
+     << ",\"verify_shares\":" << verify_shares_
+     << ",\"verify_rejects\":" << verify_rejects_
+     << ",\"verify_memo_hits\":" << verify_memo_hits_ << '}';
 
   os << ",\"decide_rounds\":";
   json_escape(os, decide_rounds_.summary());
@@ -284,7 +288,15 @@ void Metrics::to_prometheus(std::ostream& os) const {
      << "# TYPE coincidence_dead_letters_total counter\n"
      << "coincidence_dead_letters_total " << dead_letters_ << '\n'
      << "# TYPE coincidence_dead_letter_words_total counter\n"
-     << "coincidence_dead_letter_words_total " << dead_letter_words_ << '\n';
+     << "coincidence_dead_letter_words_total " << dead_letter_words_ << '\n'
+     << "# TYPE coincidence_verify_flushes_total counter\n"
+     << "coincidence_verify_flushes_total " << verify_flushes_ << '\n'
+     << "# TYPE coincidence_verify_shares_total counter\n"
+     << "coincidence_verify_shares_total " << verify_shares_ << '\n'
+     << "# TYPE coincidence_verify_rejects_total counter\n"
+     << "coincidence_verify_rejects_total " << verify_rejects_ << '\n'
+     << "# TYPE coincidence_verify_memo_hits_total counter\n"
+     << "coincidence_verify_memo_hits_total " << verify_memo_hits_ << '\n';
 
   os << "# TYPE coincidence_phase_words_total counter\n";
   for (const auto& [phase, words] : words_by_phase())
@@ -318,6 +330,10 @@ void Metrics::reset() {
   retransmit_words_ = 0;
   dead_letters_ = 0;
   dead_letter_words_ = 0;
+  verify_flushes_ = 0;
+  verify_shares_ = 0;
+  verify_rejects_ = 0;
+  verify_memo_hits_ = 0;
   words_by_tag_id_.clear();
   detail_by_tag_id_.clear();
   decide_rounds_ = Histogram{};

@@ -95,6 +95,17 @@ class Metrics {
     dead_letter_words_ += words;
   }
 
+  /// A deferred-verification batch flushed (Context::note_verify_batch).
+  /// Always on — rejected shares are discarded protocol input and must
+  /// be accounted, never invisible.
+  void record_verify_batch(std::size_t shares, std::size_t rejects,
+                           std::size_t memo_hits) {
+    ++verify_flushes_;
+    verify_shares_ += shares;
+    verify_rejects_ += rejects;
+    verify_memo_hits_ += memo_hits;
+  }
+
   /// Switches on per-tag histogram recording (words/depth/latency).
   void enable_detail() { detail_ = true; }
   bool detail_enabled() const { return detail_; }
@@ -120,6 +131,11 @@ class Metrics {
   // Dead-letter accounting (frames a transport gave up on).
   std::uint64_t dead_letters() const { return dead_letters_; }
   std::uint64_t dead_letter_words() const { return dead_letter_words_; }
+  // Deferred-verification accounting (coin/verify_queue.h).
+  std::uint64_t verify_flushes() const { return verify_flushes_; }
+  std::uint64_t verify_shares() const { return verify_shares_; }
+  std::uint64_t verify_rejects() const { return verify_rejects_; }
+  std::uint64_t verify_memo_hits() const { return verify_memo_hits_; }
 
   /// Rounds-to-decide histogram over note_decide events from correct
   /// processes (one entry per decision point, sub-protocols included).
@@ -173,6 +189,10 @@ class Metrics {
   std::uint64_t retransmit_words_ = 0;
   std::uint64_t dead_letters_ = 0;
   std::uint64_t dead_letter_words_ = 0;
+  std::uint64_t verify_flushes_ = 0;
+  std::uint64_t verify_shares_ = 0;
+  std::uint64_t verify_rejects_ = 0;
+  std::uint64_t verify_memo_hits_ = 0;
   // Correct-sender words per full tag, indexed by TagId (grown lazily).
   std::vector<std::uint64_t> words_by_tag_id_;
 

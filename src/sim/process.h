@@ -95,6 +95,16 @@ class Context {
     (void)tag;
     (void)words;
   }
+
+  /// This process flushed a deferred-verification batch of `shares`
+  /// coin shares, of which `rejects` failed their proof checks (and were
+  /// discarded) and `memo_hits` were answered by the verified-share memo.
+  virtual void note_verify_batch(std::size_t shares, std::size_t rejects,
+                                 std::size_t memo_hits) {
+    (void)shares;
+    (void)rejects;
+    (void)memo_hits;
+  }
 };
 
 class Process {

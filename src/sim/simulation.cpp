@@ -89,6 +89,11 @@ class Simulation::SlotContext final : public Context {
     sim_->note_dead_letter_from(id_, to, tag, words);
   }
 
+  void note_verify_batch(std::size_t shares, std::size_t rejects,
+                         std::size_t memo_hits) override {
+    sim_->note_verify_batch_from(id_, shares, rejects, memo_hits);
+  }
+
  private:
   Simulation* sim_;
   ProcessId id_;
@@ -382,6 +387,12 @@ void Simulation::note_dead_letter_from(ProcessId who, ProcessId to, Tag tag,
                                        std::size_t words) {
   metrics_.record_dead_letter(words);
   for (auto& obs : observers_) obs->on_dead_letter(who, to, tag, words);
+}
+
+void Simulation::note_verify_batch_from(ProcessId /*who*/, std::size_t shares,
+                                        std::size_t rejects,
+                                        std::size_t memo_hits) {
+  metrics_.record_verify_batch(shares, rejects, memo_hits);
 }
 
 // ----------------------------------------------------- timers/recovery --

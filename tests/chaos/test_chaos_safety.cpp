@@ -223,6 +223,30 @@ TEST(ChaosSafety, BaWhpOverReliableChannelDecidesUnder20PctDrop) {
             report.correct_words + report.retransmit_words);
 }
 
+// Duplicating/replaying links redeliver coin shares verbatim; the
+// verified-share memo must answer those copies from cache instead of
+// paying a second verification (the satellite invariant of the batch-
+// verification PR). Memo hits show up in the run report.
+TEST(ChaosSafety, DuplicatedSharesHitTheVerifyMemo) {
+  LinkPlan noisy;
+  noisy.dup_p = 0.5;
+  noisy.max_duplicates = 2;
+  noisy.replay_p = 0.3;
+  RunOptions options;
+  options.protocol = Protocol::kMmrWhpCoin;
+  options.n = 40;
+  options.seed = 31;
+  options.adversary = AdversaryKind::kRandom;
+  options.network = NetworkProfile::uniform(noisy);
+  options.inputs.assign(options.n, ba::kZero);
+  options.inputs[0] = ba::kOne;
+  RunReport report = run_agreement(options);
+  EXPECT_GT(report.verify_shares, 0u);
+  // With a 50% duplication + 30% replay profile, re-delivered tuples are
+  // plentiful — the memo must catch a healthy share of them.
+  EXPECT_GT(report.verify_memo_hits, 0u);
+}
+
 // Identical seeds must reproduce identical runs even with every chaos
 // feature enabled at once — link faults burn a dedicated Rng stream, so
 // determinism survives the whole stack.

@@ -125,6 +125,63 @@ TEST(Runner, WordsByTagBucketsPopulated) {
 // changing the run, and the per-phase word view partitions the paper's
 // word-complexity measure exactly — this is the identity tools/run_report
 // asserts on every invocation.
+TEST(Runner, DeferredVerificationIsBitIdenticalToInline) {
+  // The tentpole equivalence: routing share/election proofs through the
+  // deferred batch-verification queues must not change ANY protocol-
+  // visible outcome — decision, rounds, words, messages, duration — for
+  // any VRF-backed protocol, fault mix or adversary. Only the verify_*
+  // telemetry counters may (and for deferred runs, must) differ.
+  for (Protocol p : {Protocol::kBaWhp, Protocol::kMmrWhpCoin,
+                     Protocol::kMmrSharedCoin}) {
+    for (std::uint64_t seed : {1ULL, 42ULL}) {
+      RunOptions o;
+      o.protocol = p;
+      o.n = std::max<std::size_t>(min_n_for(p), 40);
+      o.seed = seed;
+      o.inputs.assign(o.n, seed % 2 ? ba::kOne : ba::kZero);
+      o.inputs[1] = ba::kOne;
+      o.junk = 1;
+      o.silent = 1;
+
+      o.defer_verify = false;
+      RunReport inline_r = run_agreement(o);
+      o.defer_verify = true;
+      RunReport deferred_r = run_agreement(o);
+
+      SCOPED_TRACE(std::string(protocol_name(p)) + " seed " +
+                   std::to_string(seed));
+      EXPECT_EQ(inline_r.all_correct_decided, deferred_r.all_correct_decided);
+      EXPECT_EQ(inline_r.decision, deferred_r.decision);
+      EXPECT_EQ(inline_r.max_decided_round, deferred_r.max_decided_round);
+      EXPECT_EQ(inline_r.correct_words, deferred_r.correct_words);
+      EXPECT_EQ(inline_r.messages, deferred_r.messages);
+      EXPECT_EQ(inline_r.duration, deferred_r.duration);
+      EXPECT_EQ(inline_r.words_by_tag, deferred_r.words_by_tag);
+      // The deferred run actually went through the batch plane...
+      EXPECT_GT(deferred_r.verify_flushes, 0u);
+      EXPECT_GT(deferred_r.verify_shares, 0u);
+      // ...and the inline run never did.
+      EXPECT_EQ(inline_r.verify_flushes, 0u);
+      EXPECT_EQ(inline_r.verify_shares, 0u);
+    }
+  }
+}
+
+TEST(Runner, DeferredVerificationCountsJunkRejects) {
+  // Junk-fault processes broadcast garbage into coin tags; the deferred
+  // path must discard exactly those shares and count them.
+  RunOptions o;
+  o.protocol = Protocol::kMmrSharedCoin;
+  o.n = 12;
+  o.seed = 23;
+  o.inputs.assign(o.n, ba::kZero);
+  o.inputs[0] = ba::kOne;
+  o.junk = 2;
+  RunReport r = run_agreement(o);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_GT(r.verify_shares, 0u);
+}
+
 TEST(Runner, InstrumentedRunMatchesBareRun) {
   RunOptions options;
   options.protocol = Protocol::kBaWhp;

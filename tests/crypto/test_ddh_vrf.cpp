@@ -98,10 +98,11 @@ TEST_F(DdhVrfTest, SmallOrderGammaRejected) {
   VrfOutput out = vrf().eval(keys().sk, bytes_of("x"));
   Reader r(out.proof);
   (void)r.blob();  // discard honest gamma
-  Bytes c = r.blob();
+  Bytes a = r.blob();
+  Bytes b = r.blob();
   Bytes s = r.blob();
   Writer forged;
-  forged.blob(g.encode(g.p() - Bignum(1))).blob(c).blob(s);
+  forged.blob(g.encode(g.p() - Bignum(1))).blob(a).blob(b).blob(s);
   VrfOutput bad{out.value, forged.take()};
   EXPECT_FALSE(vrf().verify(keys().pk, bytes_of("x"), bad));
 }

@@ -198,6 +198,63 @@ TEST(Montgomery, CombTableMatchesReference) {
   }
 }
 
+TEST(Montgomery, MultiExpMatchesProductOfReferenceLadders) {
+  // Pippenger vs Π mod_exp_ref over every term-count regime: the Straus
+  // fallback (< 8 terms), the window-size breakpoints, and mixed-width
+  // exponents (the batch path mixes 128-bit combiners with full-width
+  // sums). k = 0 must yield the empty product.
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(410);
+    for (std::size_t k : {0u, 1u, 2u, 3u, 7u, 8u, 20u, 40u}) {
+      std::vector<MultiExpTerm> terms;
+      Bignum want(1);
+      for (std::size_t i = 0; i < k; ++i) {
+        Bignum base = random_below(rng, m);
+        // Mixed widths: short 64-bit, ~128-bit, and full-width exponents.
+        Bignum exp;
+        switch (i % 3) {
+          case 0: exp = Bignum(rng.next_u64()); break;
+          case 1: exp = Bignum::from_bytes_be(rng.next_bytes(16)); break;
+          default: exp = random_below(rng, m); break;
+        }
+        want = Bignum::mul_mod(want, Bignum::mod_exp_ref(base, exp, m), m);
+        terms.push_back(MultiExpTerm{std::move(base), std::move(exp)});
+      }
+      EXPECT_EQ(ctx.multi_exp(terms), want)
+          << "m bits=" << m.bit_length() << " k=" << k;
+    }
+  }
+}
+
+TEST(Montgomery, MultiExpEdgeExponents) {
+  for (const Bignum& m : test_moduli()) {
+    MontgomeryCtx ctx(m);
+    Rng rng(411);
+    Bignum a = random_below(rng, m);
+    Bignum b = random_below(rng, m);
+    // All-zero exponents: the empty product again.
+    std::vector<MultiExpTerm> zeros;
+    for (int i = 0; i < 10; ++i)
+      zeros.push_back(MultiExpTerm{random_below(rng, m), Bignum(0)});
+    EXPECT_EQ(ctx.multi_exp(zeros), Bignum(1));
+    // A zero exponent mixed into a live batch contributes nothing.
+    std::vector<MultiExpTerm> mixed;
+    mixed.push_back(MultiExpTerm{a, Bignum(3)});
+    for (int i = 0; i < 12; ++i)
+      mixed.push_back(MultiExpTerm{random_below(rng, m), Bignum(0)});
+    mixed.push_back(MultiExpTerm{b, Bignum(1)});
+    Bignum want = Bignum::mul_mod(Bignum::mod_exp_ref(a, Bignum(3), m), b, m);
+    EXPECT_EQ(ctx.multi_exp(mixed), want);
+    // Unreduced bases reduce like everywhere else in the ctx API.
+    std::vector<MultiExpTerm> unreduced;
+    for (int i = 0; i < 9; ++i)
+      unreduced.push_back(MultiExpTerm{a + m, Bignum(2)});
+    EXPECT_EQ(ctx.multi_exp(unreduced),
+              Bignum::mod_exp_ref(a, Bignum(18), m));
+  }
+}
+
 TEST(Montgomery, JacobiMatchesEulerCriterion) {
   for (const Bignum& m : test_moduli()) {
     if (m.bit_length() > 256) continue;  // Euler oracle cost

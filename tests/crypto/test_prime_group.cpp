@@ -90,6 +90,17 @@ TEST(PrimeGroup, FromNonSafePrimeThrows) {
   EXPECT_THROW(PrimeGroup::from_safe_prime(Bignum(100)), ConfigError);
 }
 
+TEST(PrimeGroup, Rfc2409Constructs) {
+  PrimeGroup g = PrimeGroup::rfc2409_768();
+  EXPECT_EQ(g.p().bit_length(), 768u);
+  EXPECT_EQ(g.byte_len(), 96u);
+  // The header assumes primality; re-verify it once here so the bench
+  // sweep's smaller modulus rests on a checked constant.
+  EXPECT_NO_THROW(PrimeGroup::from_safe_prime(g.p()));
+  Bignum x = g.exp_g(Bignum(123));
+  EXPECT_TRUE(g.is_element(x));
+}
+
 TEST(PrimeGroup, Rfc3526Constructs) {
   PrimeGroup g = PrimeGroup::rfc3526_1536();
   EXPECT_EQ(g.p().bit_length(), 1536u);

@@ -250,7 +250,7 @@ int main(int argc, char** argv) {
 
   // --- Per-phase word breakdown (partitions correct_words exactly). ---
   std::uint64_t phase_total = 0;
-  std::size_t widest = 5;
+  std::size_t widest = 6;  // at least "verify"
   for (const auto& [phase, words] : phase_words) {
     phase_total += words;
     widest = std::max(widest, phase.size());
@@ -266,6 +266,13 @@ int main(int argc, char** argv) {
                 << detail->second.latency.brief() << ")";
     std::cout << '\n';
   }
+  // Deferred coin-share verification is compute, not communication: the
+  // row carries zero words, so the partition of correct_words above
+  // stays exact while the verification pipeline is still accounted.
+  std::cout << "  verify" << std::string(widest - 6 + 2, ' ') << 0 << "   ("
+            << r.verify_flushes << " flushes, " << r.verify_shares
+            << " shares, " << r.verify_rejects << " rejects, "
+            << r.verify_memo_hits << " memo hits)\n";
   std::cout << "  total " << phase_total
             << (phase_total == r.correct_words
                     ? " == correct words (exact)"
