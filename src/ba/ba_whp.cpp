@@ -1,11 +1,18 @@
 #include "ba/ba_whp.h"
 
 #include "common/errors.h"
+#include "common/ser.h"
+#include "sim/snapshot.h"
 
 namespace coincidence::ba {
 
+namespace {
+constexpr std::string_view kSnapshotKind = "ba-whp";
+constexpr std::uint32_t kSnapshotVersion = 1;
+}  // namespace
+
 BaWhp::BaWhp(Config cfg, Value initial)
-    : cfg_(std::move(cfg)), est_(initial) {
+    : cfg_(std::move(cfg)), initial_(initial), est_(initial) {
   COIN_REQUIRE(is_binary(initial), "BaWhp: initial value must be 0 or 1");
   COIN_REQUIRE(cfg_.vrf && cfg_.registry && cfg_.sampler && cfg_.signer,
                "BaWhp: missing crypto environment");
@@ -21,7 +28,70 @@ std::uint64_t BaWhp::decided_round() const {
   return decision_round_;
 }
 
-void BaWhp::on_start(sim::Context& ctx) { begin_round(ctx); }
+void BaWhp::on_start(sim::Context& ctx) {
+  persist_now(ctx);
+  begin_round(ctx);
+}
+
+void BaWhp::persist_now(sim::Context& ctx) {
+  // Round-boundary snapshot: everything a restart needs to resume
+  // safely. Mid-round progress (approver sets, coin queues) is
+  // deliberately NOT persisted — losing it re-runs the round, which the
+  // protocol tolerates; persisting it would have to capture sub-instance
+  // crypto state too.
+  Writer w;
+  w.u64(round_);
+  w.u8(static_cast<std::uint8_t>(est_));
+  w.u8(decision_ ? 1 : 0);
+  w.u8(decision_ ? static_cast<std::uint8_t>(*decision_) : 0);
+  w.u64(decision_round_);
+  ctx.persist(
+      sim::StateSnapshot::pack(kSnapshotKind, kSnapshotVersion, w.take()));
+}
+
+void BaWhp::on_recover(sim::Context& ctx, const Bytes& snapshot) {
+  // RAM is gone: drop every sub-instance and buffer. Destroying a coin
+  // mid-round settles its deferred verify queue as discarded-unverified
+  // (see WhpCoin::~WhpCoin), so the BatchVerifier ledger stays exact.
+  est_ = initial_;
+  decision_.reset();
+  decision_round_ = 0;
+  round_ = 0;
+  phase_ = Phase::kApproveEst;
+  propose_ = kBot;
+  coin_value_ = 0;
+  approver_.reset();
+  coin_.reset();
+  retired_approvers_.clear();
+  retired_coins_.clear();
+  backlog_.clear();
+
+  Bytes state;
+  if (sim::StateSnapshot::unpack(snapshot, kSnapshotKind, kSnapshotVersion,
+                                 state)) {
+    try {
+      Reader r(state);
+      const std::uint64_t round = r.u64();
+      const auto est = static_cast<Value>(r.u8());
+      const bool has_decision = r.u8() != 0;
+      const auto decision = static_cast<int>(r.u8());
+      const std::uint64_t decision_round = r.u64();
+      r.done();
+      if (is_binary(est)) {
+        round_ = round;
+        est_ = est;
+        if (has_decision) {
+          decision_ = decision;
+          decision_round_ = decision_round;
+        }
+      }
+    } catch (const CodecError&) {
+      // Corrupt snapshot: stable storage is untrusted input; restart
+      // from the initial value instead of misparsing.
+    }
+  }
+  begin_round(ctx);
+}
 
 void BaWhp::begin_round(sim::Context& ctx) {
   // Halting rule: participate through round decided+extra_rounds, then
@@ -109,6 +179,7 @@ void BaWhp::on_props(sim::Context& ctx, const std::set<Value>& props) {
 
   ++round_;
   ctx.note_round(round_);
+  persist_now(ctx);
   begin_round(ctx);
 }
 
@@ -151,6 +222,11 @@ bool BaWhp::offer(sim::Context& ctx, const sim::Message& msg) {
   // Byzantine senders must not grow the backlog without bound: tags
   // naming rounds beyond the protocol horizon are dropped outright.
   if (tag_round(msg.tag) >= cfg_.max_rounds) return false;
+  // Retired rounds are gone for good — their sub-instances (and deferred
+  // verify queues) were destroyed, and a share re-delivered after a
+  // crash-recovery must not re-enter a fresh PendingVerifyQueue for a
+  // round this process already finished.
+  if (tag_round(msg.tag) < round_) return false;
   // Try the live sub-instances for the *current* phase; stash otherwise.
   if (phase_ == Phase::kApproveEst || phase_ == Phase::kApprovePropose) {
     if (approver_ && approver_->handle(ctx, msg)) return true;

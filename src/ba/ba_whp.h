@@ -56,6 +56,15 @@ class BaWhp final : public BaProcess {
 
   void on_start(sim::Context& ctx) override;
   void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  /// kCrashRecover restart: every live sub-instance (and its deferred
+  /// verify queue) is torn down, then (round, est, decision) are rebuilt
+  /// from the persisted snapshot — or from the initial value when the
+  /// snapshot is missing/corrupt — and the round is restarted. The
+  /// snapshot is written at every round boundary, so a recovered process
+  /// can never land in a round it had already retired, and a restored
+  /// decision can never flip (the no-divergence-across-recovery
+  /// invariant).
+  void on_recover(sim::Context& ctx, const Bytes& snapshot) override;
 
   bool decided() const override { return decision_.has_value(); }
   int decision() const override;
@@ -78,8 +87,11 @@ class BaWhp final : public BaProcess {
   void replay_backlog(sim::Context& ctx);
   bool offer(sim::Context& ctx, const sim::Message& msg);
   std::uint64_t tag_round(sim::Tag tag) const;
+  /// Writes the round-boundary snapshot to stable storage.
+  void persist_now(sim::Context& ctx);
 
   Config cfg_;
+  Value initial_;  // recovery fallback when no snapshot survives
   Value est_;
   std::optional<int> decision_;
   std::uint64_t decision_round_ = 0;

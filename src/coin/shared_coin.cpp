@@ -57,6 +57,11 @@ SharedCoin::SharedCoin(Config cfg, DoneFn on_done)
   vrf_input_ = w.take();
 }
 
+SharedCoin::~SharedCoin() {
+  if (cfg_.batcher && queue_.pending() > 0)
+    cfg_.batcher->note_discarded(queue_.pending());
+}
+
 void SharedCoin::fold_min(BytesView value, crypto::ProcessId origin,
                           BytesView origin_proof) {
   // Lexicographic comparison of the fixed-width big-endian values is the
@@ -126,6 +131,7 @@ bool SharedCoin::should_flush() const {
 
 void SharedCoin::flush_queue(sim::Context& ctx) {
   std::vector<PendingVerifyQueue::Share> shares = queue_.take();
+  cfg_.batcher->note_flushed(shares.size());
   std::vector<crypto::VrfBatchEntry> entries;
   entries.reserve(shares.size());
   for (const PendingVerifyQueue::Share& s : shares)
@@ -177,6 +183,7 @@ bool SharedCoin::handle(sim::Context& ctx, const sim::Message& msg) {
     share.value = wire.value;
     share.origin_proof = wire.origin_proof;
     queue_.enqueue(std::move(share));
+    cfg_.batcher->note_enqueued();
     if (should_flush()) flush_queue(ctx);
     return true;
   }

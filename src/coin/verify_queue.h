@@ -85,12 +85,30 @@ class BatchVerifier {
   std::uint64_t shares() const { return shares_; }
   std::uint64_t rejects() const { return rejects_; }
 
+  /// Queue-lifecycle ledger, maintained by the coins that defer into this
+  /// verifier: every share enqueued into a PendingVerifyQueue is either
+  /// flushed through verify_shares or discarded unverified when its coin
+  /// retires (round end, crash, or teardown). The conservation law
+  ///   enqueued() == flushed() + discarded()
+  /// must hold once every queue is drained or dropped — crash-recovery
+  /// must not lose or double-count a share (satellite check in
+  /// tests/coin/test_verify_recovery.cpp).
+  void note_enqueued() { ++enqueued_; }
+  void note_flushed(std::uint64_t k) { flushed_ += k; }
+  void note_discarded(std::uint64_t k) { discarded_ += k; }
+  std::uint64_t enqueued() const { return enqueued_; }
+  std::uint64_t flushed() const { return flushed_; }
+  std::uint64_t discarded() const { return discarded_; }
+
  private:
   Config cfg_;
   crypto::VerifyMemo memo_;
   std::uint64_t batches_ = 0;
   std::uint64_t shares_ = 0;
   std::uint64_t rejects_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t flushed_ = 0;
+  std::uint64_t discarded_ = 0;
 };
 
 /// Arrival-ordered buffer of not-yet-verified coin shares. The payload

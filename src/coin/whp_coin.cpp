@@ -62,6 +62,11 @@ WhpCoin::WhpCoin(Config cfg, DoneFn on_done)
   vrf_input_ = w.take();
 }
 
+WhpCoin::~WhpCoin() {
+  if (cfg_.batcher && queue_.pending() > 0)
+    cfg_.batcher->note_discarded(queue_.pending());
+}
+
 void WhpCoin::fold_min(BytesView value, crypto::ProcessId origin,
                        BytesView origin_proof) {
   const bool less = std::lexicographical_compare(
@@ -149,6 +154,7 @@ bool WhpCoin::should_flush() const {
 
 void WhpCoin::flush_queue(sim::Context& ctx) {
   std::vector<PendingVerifyQueue::Share> shares = queue_.take();
+  cfg_.batcher->note_flushed(shares.size());
 
   // The sender must prove membership in the phase's committee…
   std::vector<committee::Sampler::ValCheck> checks;
@@ -227,6 +233,7 @@ bool WhpCoin::handle(sim::Context& ctx, const sim::Message& msg) {
     share.origin_proof = wire.origin_proof;
     share.election_proof = wire.election_proof;
     queue_.enqueue(std::move(share));
+    cfg_.batcher->note_enqueued();
     if (should_flush()) flush_queue(ctx);
     return true;
   }

@@ -45,6 +45,10 @@ class WhpCoin final : public CoinProtocol {
   using DoneFn = std::function<void(int)>;
 
   WhpCoin(Config cfg, DoneFn on_done = {});
+  /// A retiring coin settles its verification ledger: whatever is still
+  /// queued unverified is reported to the batcher as discarded, keeping
+  /// enqueued == flushed + discarded across round ends and crashes.
+  ~WhpCoin() override;
 
   void start(sim::Context& ctx) override;
   bool handle(sim::Context& ctx, const sim::Message& msg) override;

@@ -1,5 +1,9 @@
 #include "core/runner.h"
 
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
 #include "ba/ba_process.h"
 #include "ba/ba_whp.h"
 #include "ba/ben_or.h"
@@ -10,6 +14,7 @@
 #include "coin/whp_coin.h"
 #include "common/errors.h"
 #include "net/reliable_process.h"
+#include "sim/invariants.h"
 #include "sim/simulation.h"
 
 namespace coincidence::core {
@@ -61,6 +66,7 @@ const char* adversary_name(AdversaryKind a) {
     case AdversaryKind::kDelaySenders: return "delay-senders";
     case AdversaryKind::kSplit: return "split";
     case AdversaryKind::kHeavyTail: return "heavy-tail";
+    case AdversaryKind::kAdaptiveCorruption: return "adaptive-corruption";
   }
   return "unknown";
 }
@@ -79,8 +85,24 @@ std::size_t resilience_f(Protocol p, std::size_t n, const Env& env) {
   return 0;
 }
 
+/// The scope tag each protocol reports its top-level decisions under —
+/// the only scope where agreement is a *promise* (coin sub-instances are
+/// weak coins and may legitimately "disagree").
+const char* agreement_scope(Protocol p) {
+  switch (p) {
+    case Protocol::kBenOr: return "benor";
+    case Protocol::kBracha: return "bracha";
+    case Protocol::kMmrSharedCoin: return "mmr";
+    case Protocol::kMmrWhpCoin: return "mmrw";
+    case Protocol::kMmrDealerCoin: return "rabin";
+    case Protocol::kBaWhp: return "ba";
+  }
+  return "";
+}
+
 std::unique_ptr<sim::Adversary> make_adversary(const RunOptions& o,
-                                               std::size_t f) {
+                                               std::size_t f,
+                                               std::size_t adaptive_victims) {
   switch (o.adversary) {
     case AdversaryKind::kRandom:
       return std::make_unique<sim::RandomAdversary>();
@@ -97,8 +119,37 @@ std::unique_ptr<sim::Adversary> make_adversary(const RunOptions& o,
           static_cast<sim::ProcessId>(o.n / 2));
     case AdversaryKind::kHeavyTail:
       return std::make_unique<sim::HeavyTailAdversary>();
+    case AdversaryKind::kAdaptiveCorruption: {
+      sim::AdaptiveCorruptionAdversary::Config cfg;
+      cfg.max_victims = adaptive_victims;
+      return std::make_unique<sim::AdaptiveCorruptionAdversary>(cfg);
+    }
   }
   return std::make_unique<sim::RandomAdversary>();
+}
+
+/// One-line, copy-pasteable reconstruction of a run: the (seed, config,
+/// schedule) part of the repro triple (the schedule *phase* rides in the
+/// violation description appended by the caller).
+std::string repro_command(const RunOptions& o) {
+  std::ostringstream os;
+  os << "chaos_run --protocol " << protocol_name(o.protocol) << " --n "
+     << o.n << " --seed " << o.seed << " --adversary "
+     << adversary_name(o.adversary);
+  if (o.crash) os << " --crash " << o.crash;
+  if (o.silent) os << " --silent " << o.silent;
+  if (o.junk) os << " --junk " << o.junk;
+  if (o.crash_recover) os << " --crash-recover " << o.crash_recover;
+  if (o.reliable_channel) {
+    os << " --reliable";
+    if (o.transport_retransmits != 24)
+      os << " --retransmits " << o.transport_retransmits;
+  }
+  if (o.adaptive_victims != static_cast<std::size_t>(-1))
+    os << " --adaptive-victims " << o.adaptive_victims;
+  if (!o.defer_verify) os << " --no-defer-verify";
+  if (!o.chaos.empty()) os << " --schedule \"" << o.chaos.spec() << '"';
+  return os.str();
 }
 
 /// Sees through an optional ReliableProcess wrapper to the protocol.
@@ -229,78 +280,142 @@ RunReport run_agreement(const RunOptions& options,
     throw PreconditionError("run_agreement: unknown protocol");
   };
 
+  // Chaos churn waves and the adaptive hunter spend corruption budget on
+  // top of the static fault mix; widen the simulation's f for them —
+  // never beyond the protocol's resilience. The adaptive hunter gets
+  // whatever resilience the mix and the churn waves leave unclaimed.
+  std::size_t budget =
+      std::min(f, faulty + options.chaos.max_churn_victims());
+  std::size_t adaptive_victims = 0;
+  if (options.adversary == AdversaryKind::kAdaptiveCorruption) {
+    adaptive_victims = std::min(options.adaptive_victims, f - budget);
+    budget += adaptive_victims;
+  }
+
   sim::SimConfig scfg;
   scfg.n = options.n;
-  scfg.f = faulty;
+  scfg.f = budget;
   scfg.seed = options.seed;
   scfg.network = options.network;
-  sim::Simulation sim(scfg);
-  if (instruments.detailed_metrics) sim.metrics().enable_detail();
-  for (const auto& obs : instruments.observers) sim.add_observer(obs);
-  for (sim::ProcessId i = 0; i < options.n; ++i) {
-    std::unique_ptr<sim::Process> p = make_process(i, inputs[i]);
-    if (options.reliable_channel)
-      p = std::make_unique<net::ReliableProcess>(std::move(p));
-    sim.add_process(std::move(p));
-  }
-  sim.set_adversary(make_adversary(options, f));
-
-  // Faults land on the highest ids.
-  sim::ProcessId next = static_cast<sim::ProcessId>(options.n);
-  for (std::size_t i = 0; i < options.crash; ++i)
-    sim.corrupt(--next, sim::FaultPlan::crash());
-  for (std::size_t i = 0; i < options.silent; ++i)
-    sim.corrupt(--next, sim::FaultPlan::silent());
-  for (std::size_t i = 0; i < options.junk; ++i)
-    sim.corrupt(--next, sim::FaultPlan::junk());
-  for (std::size_t i = 0; i < options.crash_recover; ++i)
-    sim.corrupt(--next, sim::FaultPlan::crash_recover(options.recover_after));
-
-  sim.start();
-  sim.run_until([&] {
-    for (sim::ProcessId i = 0; i < options.n; ++i) {
-      if (sim.is_corrupted(i)) continue;
-      if (!as_ba(sim.process(i)).decided()) return false;
-    }
-    return true;
-  });
+  scfg.chaos = options.chaos;
 
   RunReport report;
   report.faulty = faulty;
   report.protocol_f = f;
-  report.all_correct_decided = true;
-  report.agreement = true;
-  for (sim::ProcessId i = 0; i < options.n; ++i) {
-    if (sim.is_corrupted(i)) continue;
-    auto& p = as_ba(sim.process(i));
-    if (!p.decided()) {
-      report.all_correct_decided = false;
-      continue;
+  // Inner scope: the Simulation (and with it every process and coin)
+  // must be torn down before the BatchVerifier's queue ledger is read —
+  // a destroyed coin is what reports its still-pending shares as
+  // discarded-unverified.
+  {
+    sim::Simulation sim(scfg);
+    if (instruments.detailed_metrics) sim.metrics().enable_detail();
+    for (const auto& obs : instruments.observers) sim.add_observer(obs);
+    std::shared_ptr<sim::InvariantChecker> checker;
+    if (options.check_invariants) {
+      sim::InvariantChecker::Config icfg;
+      icfg.n = options.n;
+      icfg.f = scfg.f;
+      icfg.agreement_scopes = {agreement_scope(options.protocol)};
+      icfg.expected_decision = options.expected_decision;
+      checker = std::make_shared<sim::InvariantChecker>(icfg);
+      sim.add_observer(checker);
     }
-    if (!report.decision) report.decision = p.decision();
-    if (*report.decision != p.decision()) report.agreement = false;
-    report.max_decided_round = std::max(report.max_decided_round,
-                                        p.decided_round());
-  }
-  if (!report.all_correct_decided) report.decision.reset();
+    for (sim::ProcessId i = 0; i < options.n; ++i) {
+      std::unique_ptr<sim::Process> p = make_process(i, inputs[i]);
+      if (options.reliable_channel) {
+        net::ReliableChannelConfig rcfg;
+        rcfg.max_retransmits = options.transport_retransmits;
+        p = std::make_unique<net::ReliableProcess>(std::move(p), rcfg);
+      }
+      sim.add_process(std::move(p));
+    }
+    sim.set_adversary(make_adversary(options, f, adaptive_victims));
 
-  report.correct_words = sim.metrics().correct_words();
-  report.messages = sim.metrics().messages_sent();
-  report.words_by_tag = sim.metrics().words_by_tag();
-  report.link_drops = sim.metrics().link_drops();
-  report.link_duplicates = sim.metrics().link_duplicates();
-  report.link_replays = sim.metrics().link_replays();
-  report.retransmits = sim.metrics().retransmits();
-  report.retransmit_words = sim.metrics().retransmit_words();
-  report.dead_letters = sim.metrics().dead_letters();
-  report.dead_letter_words = sim.metrics().dead_letter_words();
-  report.verify_flushes = sim.metrics().verify_flushes();
-  report.verify_shares = sim.metrics().verify_shares();
-  report.verify_rejects = sim.metrics().verify_rejects();
-  report.verify_memo_hits = sim.metrics().verify_memo_hits();
-  for (sim::ProcessId i = 0; i < options.n; ++i)
-    report.duration = std::max(report.duration, sim.depth_of(i));
-  if (instruments.metrics_out) instruments.metrics_out(sim.metrics());
+    // Faults land on the highest ids.
+    sim::ProcessId next = static_cast<sim::ProcessId>(options.n);
+    for (std::size_t i = 0; i < options.crash; ++i)
+      sim.corrupt(--next, sim::FaultPlan::crash());
+    for (std::size_t i = 0; i < options.silent; ++i)
+      sim.corrupt(--next, sim::FaultPlan::silent());
+    for (std::size_t i = 0; i < options.junk; ++i)
+      sim.corrupt(--next, sim::FaultPlan::junk());
+    for (std::size_t i = 0; i < options.crash_recover; ++i)
+      sim.corrupt(--next,
+                  sim::FaultPlan::crash_recover(options.recover_after));
+
+    sim.start();
+    sim.run_until([&] {
+      // A run doesn't end while a chaos partition still holds traffic:
+      // the schedule owes a heal, and the "partitions eventually heal"
+      // invariant is checked against the *completed* schedule (the
+      // simulator idle-advances to the heal event once decided).
+      if (sim.chaos_held() != 0) return false;
+      for (sim::ProcessId i = 0; i < options.n; ++i) {
+        if (sim.is_corrupted(i)) continue;
+        if (!as_ba(sim.process(i)).decided()) return false;
+      }
+      return true;
+    });
+
+    report.all_correct_decided = true;
+    report.agreement = true;
+    for (sim::ProcessId i = 0; i < options.n; ++i) {
+      if (sim.is_corrupted(i)) continue;
+      auto& p = as_ba(sim.process(i));
+      if (!p.decided()) {
+        report.all_correct_decided = false;
+        continue;
+      }
+      if (!report.decision) report.decision = p.decision();
+      if (*report.decision != p.decision()) report.agreement = false;
+      report.max_decided_round = std::max(report.max_decided_round,
+                                          p.decided_round());
+    }
+    if (!report.all_correct_decided) report.decision.reset();
+
+    report.correct_words = sim.metrics().correct_words();
+    report.messages = sim.metrics().messages_sent();
+    report.words_by_tag = sim.metrics().words_by_tag();
+    report.link_drops = sim.metrics().link_drops();
+    report.link_duplicates = sim.metrics().link_duplicates();
+    report.link_replays = sim.metrics().link_replays();
+    report.retransmits = sim.metrics().retransmits();
+    report.retransmit_words = sim.metrics().retransmit_words();
+    report.dead_letters = sim.metrics().dead_letters();
+    report.dead_letter_words = sim.metrics().dead_letter_words();
+    report.verify_flushes = sim.metrics().verify_flushes();
+    report.verify_shares = sim.metrics().verify_shares();
+    report.verify_rejects = sim.metrics().verify_rejects();
+    report.verify_memo_hits = sim.metrics().verify_memo_hits();
+    report.corrupted = sim.corrupted_count();
+    report.partition_held = sim.metrics().partition_held();
+    report.partition_dropped = sim.metrics().partition_dropped();
+    report.partition_released = sim.metrics().partition_released();
+    report.storm_copies = sim.metrics().storm_copies();
+    report.churn_crashes = sim.metrics().churn_crashes();
+    for (sim::ProcessId i = 0; i < options.n; ++i)
+      report.duration = std::max(report.duration, sim.depth_of(i));
+
+    if (checker) {
+      checker->finalize(sim.metrics().correct_words(), sim.chaos_held(),
+                        sim.corrupted_count());
+      for (const auto& v : checker->violations()) {
+        report.invariant_violations.push_back(
+            sim::InvariantChecker::describe(v));
+        // The copy-pasteable repro: seed + config in the command, the
+        // schedule phase in the describe() payload.
+        std::cerr << "CHAOS-VIOLATION " << repro_command(options) << "  # "
+                  << report.invariant_violations.back() << '\n';
+      }
+    }
+    if (instruments.metrics_out) instruments.metrics_out(sim.metrics());
+  }
+
+  if (env.batcher) {
+    report.verify_enqueued = env.batcher->enqueued();
+    report.verify_batch_flushed = env.batcher->flushed();
+    report.verify_discarded = env.batcher->discarded();
+  }
   return report;
 }
 

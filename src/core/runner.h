@@ -13,6 +13,7 @@
 
 #include "ba/value.h"
 #include "core/env.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/link.h"
 #include "sim/metrics.h"
@@ -48,6 +49,11 @@ enum class AdversaryKind {
   kDelaySenders,  // starve the first f processes' messages
   kSplit,         // delay cross-partition traffic
   kHeavyTail,     // Pareto message delays (WAN-like stragglers)
+  /// Delayed-adaptive hunter (sim::AdaptiveCorruptionAdversary): corrupts
+  /// committee members as they reveal themselves by speaking, within
+  /// whatever corruption budget the static fault mix and the chaos
+  /// schedule leave free. Legal per Definition 2.1 (docs/CHAOS.md).
+  kAdaptiveCorruption,
 };
 
 const char* adversary_name(AdversaryKind a);
@@ -84,6 +90,14 @@ struct RunOptions {
   /// delivery on top of a lossy `network`. Adds "net/dat"/"net/ack"
   /// framing; retransmission words are reported separately.
   bool reliable_channel = false;
+  /// Per-frame give-up bound for the reliable channel (its
+  /// ReliableChannelConfig::max_retransmits). The default survives lossy
+  /// links; runs scheduling long drop-mode chaos partitions should raise
+  /// it — a frame whose every retry falls inside the partition window
+  /// burns budget without ever reaching the wire's good period, and a
+  /// dead-lettered protocol message can stall liveness (safety holds
+  /// regardless).
+  std::uint32_t transport_retransmits = 24;
 
   /// Routes coin-share and election-proof checks through the Env's
   /// BatchVerifier (deferred queues + folded batch verification,
@@ -94,6 +108,27 @@ struct RunOptions {
   bool defer_verify = true;
 
   std::uint64_t max_rounds = 64;
+
+  /// Chaos schedule (sim/chaos.h) executed by the simulation on the
+  /// delivery clock: healing partitions, churn waves, storm bursts.
+  /// Churn-wave victims need corruption budget, so the runner widens the
+  /// simulation's f (never beyond the protocol's resilience) to
+  /// accommodate them on top of the static fault mix.
+  sim::ChaosSchedule chaos;
+  /// Attaches a sim::InvariantChecker to the run and reports its
+  /// violations (RunReport::invariant_violations); on any violation the
+  /// runner also prints a one-line copy-pasteable repro — the exact
+  /// (seed, config, schedule-phase) triple — to stderr.
+  bool check_invariants = false;
+  /// Validity oracle for the checker: when every correct process got the
+  /// same input, that value is the only legal decision.
+  std::optional<int> expected_decision;
+  /// Victim cap for kAdaptiveCorruption (default: whatever corruption
+  /// budget the fault mix and churn waves leave free, up to f). Small-n
+  /// committee runs want a lower cap: silencing close to f processes can
+  /// legitimately starve a W-threshold committee quorum — a model limit,
+  /// not a protocol bug (the Chernoff margins S1–S6 are asymptotic).
+  std::size_t adaptive_victims = static_cast<std::size_t>(-1);
 };
 
 struct RunReport {
@@ -127,6 +162,24 @@ struct RunReport {
   std::uint64_t verify_shares = 0;
   std::uint64_t verify_rejects = 0;
   std::uint64_t verify_memo_hits = 0;
+  // BatchVerifier queue ledger, read after every coin has retired. The
+  // conservation law verify_enqueued == verify_batch_flushed +
+  // verify_discarded must hold for every run — crash-recovery must
+  // neither lose nor double-count a deferred share.
+  std::uint64_t verify_enqueued = 0;
+  std::uint64_t verify_batch_flushed = 0;
+  std::uint64_t verify_discarded = 0;
+
+  // Chaos accounting (zero without a schedule).
+  std::size_t corrupted = 0;  // final corrupted count (static + churn + hunt)
+  std::uint64_t partition_held = 0;
+  std::uint64_t partition_dropped = 0;
+  std::uint64_t partition_released = 0;
+  std::uint64_t storm_copies = 0;
+  std::uint64_t churn_crashes = 0;
+  /// InvariantChecker::describe lines (empty = run passed all checks, or
+  /// check_invariants was off).
+  std::vector<std::string> invariant_violations;
 };
 
 /// Instrumentation to attach to a run without changing its behaviour:

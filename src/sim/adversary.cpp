@@ -148,6 +148,45 @@ std::vector<CorruptionRequest> CommitteeHunterAdversary::corrupt_now(
   return out;
 }
 
+AdaptiveCorruptionAdversary::AdaptiveCorruptionAdversary(Config cfg)
+    : cfg_(std::move(cfg)) {}
+
+std::size_t AdaptiveCorruptionAdversary::schedule(const PendingPool& pending,
+                                                  Rng& rng) {
+  if (!cfg_.starve || requested_.empty())
+    return static_cast<std::size_t>(rng.next_below(pending.size()));
+  // Metadata-only starvation: hold back everything a revealed victim
+  // still has in flight (tags/senders are the adversary's legal view).
+  return detail::pick_avoiding(pending, rng, requested_);
+}
+
+void AdaptiveCorruptionAdversary::observe_delivery(const Message& msg) {
+  // Delivered content is causally public — the paper's rule. A tag
+  // carrying a role marker identifies its sender as a committee member
+  // (coin-share sender, relay, ok-elector). By that moment the message
+  // is already delivered, so corruption cannot retract it — exactly the
+  // attack process replaceability is designed to absorb.
+  if (requested_.size() >= cfg_.max_victims) return;
+  if (requested_.count(msg.from) != 0) return;
+  const std::string& tag = msg.tag.str();
+  for (const std::string& marker : cfg_.role_markers) {
+    if (tag.find(marker) != std::string::npos) {
+      requested_.insert(msg.from);
+      queue_.push_back(msg.from);
+      return;
+    }
+  }
+}
+
+std::vector<CorruptionRequest> AdaptiveCorruptionAdversary::corrupt_now(
+    Rng& /*rng*/) {
+  std::vector<CorruptionRequest> out;
+  out.reserve(queue_.size());
+  for (ProcessId p : queue_) out.push_back({p, cfg_.plan});
+  queue_.clear();
+  return out;
+}
+
 CoinBiasAdversary::CoinBiasAdversary(std::string tag_substring,
                                      int desired_bit)
     : tag_substring_(std::move(tag_substring)), desired_bit_(desired_bit) {}

@@ -191,6 +191,45 @@ class CommitteeHunterAdversary final : public Adversary {
   std::unordered_set<ProcessId> requested_;
 };
 
+/// LEGAL delayed-adaptive strategy for the chaos plane: hunts every
+/// protocol role the observer plane exposes at once. Delivered messages
+/// whose tags carry committee-membership markers — coin-share senders
+/// ("/first"), minima relayers ("/second"), ok-certificate electors
+/// ("/ok") — reveal their sender as worth corrupting; the adversary
+/// queues the sender, corrupts it at the next poll (subject to the
+/// runtime budget f and its own victim cap) and additionally starves the
+/// victims' remaining traffic until the fairness bound forces it
+/// through. Everything it reads is causal-past content (observe_delivery)
+/// or metadata (tags during scheduling), so it sits strictly inside
+/// Definition 2.1 — see docs/CHAOS.md for the legality argument.
+class AdaptiveCorruptionAdversary final : public Adversary {
+ public:
+  struct Config {
+    /// Tag substrings that mark a sender as a revealed role-holder.
+    std::vector<std::string> role_markers = {"/first", "/second", "/ok"};
+    /// Behaviour applied to victims.
+    FaultPlan plan = FaultPlan::silent();
+    /// Hard cap on corruption requests (the runtime budget f still
+    /// applies on top; 0 = corrupt nothing, scheduling-only hostility).
+    std::size_t max_victims = 0;
+    /// Also starve revealed victims' pending traffic.
+    bool starve = true;
+  };
+
+  explicit AdaptiveCorruptionAdversary(Config cfg);
+
+  std::size_t schedule(const PendingPool& pending, Rng& rng) override;
+  void observe_delivery(const Message& msg) override;
+  std::vector<CorruptionRequest> corrupt_now(Rng& rng) override;
+
+  std::size_t hunted_count() const { return requested_.size(); }
+
+ private:
+  Config cfg_;
+  std::vector<ProcessId> queue_;  // revealed, not yet requested
+  std::unordered_set<ProcessId> requested_;
+};
+
 namespace detail {
 /// Rejection-samples an index whose sender is not in `avoid`; falls back
 /// to a full scan, then to an arbitrary pick if every sender is avoided.

@@ -1,0 +1,328 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace coincidence::sim {
+
+const char* ChaosPhase::kind_name() const {
+  switch (kind) {
+    case Kind::kPartition: return "partition";
+    case Kind::kChurn: return "churn";
+    case Kind::kStorm: return "storm";
+  }
+  return "unknown";
+}
+
+ChaosPhase ChaosPhase::partition(std::uint64_t start, std::uint64_t duration,
+                                 ProcessId boundary, PartitionMode mode) {
+  ChaosPhase p;
+  p.kind = Kind::kPartition;
+  p.start = start;
+  p.duration = duration;
+  p.boundary = boundary;
+  p.partition_mode = mode;
+  return p;
+}
+
+ChaosPhase ChaosPhase::churn(std::uint64_t start, std::uint64_t duration,
+                             std::size_t victims, std::uint64_t down,
+                             std::uint64_t every) {
+  ChaosPhase p;
+  p.kind = Kind::kChurn;
+  p.start = start;
+  p.duration = duration;
+  p.churn_victims = victims;
+  p.churn_down = down;
+  p.churn_every = every;
+  return p;
+}
+
+ChaosPhase ChaosPhase::storm(std::uint64_t start, std::uint64_t duration,
+                             double prob, std::size_t copies) {
+  ChaosPhase p;
+  p.kind = Kind::kStorm;
+  p.start = start;
+  p.duration = duration;
+  p.storm_p = prob;
+  p.storm_copies = copies == 0 ? 1 : copies;
+  return p;
+}
+
+std::size_t ChaosSchedule::max_churn_victims() const {
+  std::size_t most = 0;
+  for (const ChaosPhase& p : phases)
+    if (p.kind == ChaosPhase::Kind::kChurn)
+      most = std::max(most, p.churn_victims);
+  return most;
+}
+
+// ------------------------------------------------------------- spec I/O --
+//
+// Grammar (one line, ';'-separated phases):
+//   phase     := kind '@' start '+' duration [':' params]
+//   params    := key '=' value (',' key '=' value)*
+//   partition := boundary=<pid>, mode=hold|drop
+//   churn     := victims=<k>, down=<ticks>, every=<ticks>
+//   storm     := p=<prob>, copies=<k>
+// spec() emits every field; parse() accepts any subset (defaults apply).
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const std::string& where) {
+  if (s.empty()) throw ConfigError("chaos spec: empty number in " + where);
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      throw ConfigError("chaos spec: bad number '" + s + "' in " + where);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+double parse_prob(const std::string& s, const std::string& where) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(s, &used);
+    if (used != s.size() || v < 0.0 || v > 1.0) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("chaos spec: bad probability '" + s + "' in " + where);
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) end = s.size();
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::string format_prob(double p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ChaosSchedule::spec() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const ChaosPhase& p = phases[i];
+    if (i) os << ';';
+    os << p.kind_name() << '@' << p.start << '+' << p.duration << ':';
+    switch (p.kind) {
+      case ChaosPhase::Kind::kPartition:
+        os << "boundary=" << p.boundary << ",mode="
+           << (p.partition_mode == ChaosPhase::PartitionMode::kHold ? "hold"
+                                                                    : "drop");
+        break;
+      case ChaosPhase::Kind::kChurn:
+        os << "victims=" << p.churn_victims << ",down=" << p.churn_down
+           << ",every=" << p.churn_every;
+        break;
+      case ChaosPhase::Kind::kStorm:
+        os << "p=" << format_prob(p.storm_p) << ",copies=" << p.storm_copies;
+        break;
+    }
+  }
+  return os.str();
+}
+
+ChaosSchedule ChaosSchedule::parse(const std::string& spec) {
+  ChaosSchedule out;
+  for (const std::string& part : split(spec, ';')) {
+    const std::size_t at = part.find('@');
+    if (at == std::string::npos)
+      throw ConfigError("chaos spec: missing '@' in '" + part + "'");
+    const std::string kind = part.substr(0, at);
+    const std::size_t plus = part.find('+', at);
+    if (plus == std::string::npos)
+      throw ConfigError("chaos spec: missing '+' in '" + part + "'");
+    const std::size_t colon = part.find(':', plus);
+    const std::size_t window_end = colon == std::string::npos ? part.size()
+                                                              : colon;
+
+    ChaosPhase phase;
+    if (kind == "partition") {
+      phase.kind = ChaosPhase::Kind::kPartition;
+    } else if (kind == "churn") {
+      phase.kind = ChaosPhase::Kind::kChurn;
+    } else if (kind == "storm") {
+      phase.kind = ChaosPhase::Kind::kStorm;
+    } else {
+      throw ConfigError("chaos spec: unknown phase kind '" + kind + "'");
+    }
+    phase.start = parse_u64(part.substr(at + 1, plus - at - 1), part);
+    phase.duration =
+        parse_u64(part.substr(plus + 1, window_end - plus - 1), part);
+
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(part.substr(colon + 1), ',')) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+          throw ConfigError("chaos spec: missing '=' in '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "boundary") {
+          phase.boundary = static_cast<ProcessId>(parse_u64(val, part));
+        } else if (key == "mode") {
+          if (val == "hold") {
+            phase.partition_mode = ChaosPhase::PartitionMode::kHold;
+          } else if (val == "drop") {
+            phase.partition_mode = ChaosPhase::PartitionMode::kDrop;
+          } else {
+            throw ConfigError("chaos spec: bad partition mode '" + val + "'");
+          }
+        } else if (key == "victims") {
+          phase.churn_victims = parse_u64(val, part);
+        } else if (key == "down") {
+          phase.churn_down = parse_u64(val, part);
+        } else if (key == "every") {
+          phase.churn_every = parse_u64(val, part);
+        } else if (key == "p") {
+          phase.storm_p = parse_prob(val, part);
+        } else if (key == "copies") {
+          phase.storm_copies = std::max<std::size_t>(
+              1, static_cast<std::size_t>(parse_u64(val, part)));
+        } else {
+          throw ConfigError("chaos spec: unknown key '" + key + "'");
+        }
+      }
+    }
+    out.phases.push_back(phase);
+  }
+  return out;
+}
+
+const std::vector<std::string>& ChaosSchedule::preset_names() {
+  static const std::vector<std::string> kNames = {
+      "partition-hold", "partition-drop", "churn",
+      "storm",          "adaptive",       "combined"};
+  return kNames;
+}
+
+// Presets are scaled to n: windows are multiples of 16n (one fairness
+// bound — long enough for real traffic to pile up against a partition,
+// short enough that churn waves fit several cycles into a normal run).
+ChaosSchedule ChaosSchedule::preset(const std::string& name, std::size_t n) {
+  COIN_REQUIRE(n > 0, "chaos preset: n must be positive");
+  const std::uint64_t unit = 16 * static_cast<std::uint64_t>(n);
+  const ProcessId half = static_cast<ProcessId>(n / 2);
+  ChaosSchedule s;
+  if (name == "partition-hold") {
+    s.phases.push_back(ChaosPhase::partition(
+        unit, 3 * unit, half, ChaosPhase::PartitionMode::kHold));
+  } else if (name == "partition-drop") {
+    s.phases.push_back(ChaosPhase::partition(
+        unit, 2 * unit, half, ChaosPhase::PartitionMode::kDrop));
+  } else if (name == "churn") {
+    s.phases.push_back(
+        ChaosPhase::churn(0, 8 * unit, /*victims=*/1, /*down=*/unit,
+                          /*every=*/3 * unit));
+  } else if (name == "storm") {
+    s.phases.push_back(ChaosPhase::storm(unit, 4 * unit, 0.3, 2));
+  } else if (name == "adaptive") {
+    // Empty on purpose: the hostility is the AdaptiveCorruptionAdversary
+    // (sim/adversary.h), which needs no schedule to act.
+  } else if (name == "combined") {
+    s.phases.push_back(ChaosPhase::storm(0, 2 * unit, 0.25, 2));
+    s.phases.push_back(ChaosPhase::partition(
+        unit, 2 * unit, half, ChaosPhase::PartitionMode::kHold));
+    s.phases.push_back(ChaosPhase::churn(3 * unit, 6 * unit, /*victims=*/1,
+                                         /*down=*/unit, /*every=*/3 * unit));
+  } else {
+    throw ConfigError("chaos preset: unknown name '" + name + "'");
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ ChaosState --
+
+ChaosState::ChaosState(ChaosSchedule schedule)
+    : schedule_(std::move(schedule)) {
+  for (std::size_t i = 0; i < schedule_.phases.size(); ++i) {
+    const ChaosPhase& p = schedule_.phases[i];
+    events_.push_back({ChaosEvent::Kind::kPhaseBegin, i, p.start});
+    if (p.kind == ChaosPhase::Kind::kChurn && p.churn_victims > 0) {
+      // One wave at phase start, then every churn_every ticks while the
+      // phase lasts (every=0 collapses to the single opening wave).
+      std::uint64_t at = p.start;
+      do {
+        events_.push_back({ChaosEvent::Kind::kChurnWave, i, at});
+        if (p.churn_every == 0) break;
+        at += p.churn_every;
+      } while (at < p.end());
+    }
+    events_.push_back({ChaosEvent::Kind::kPhaseEnd, i, p.end()});
+  }
+  // Deterministic order: time, then phase index, then begin < wave < end
+  // (an end and a begin at the same tick: the earlier phase ends first).
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.phase != b.phase) return a.phase < b.phase;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+}
+
+std::optional<ChaosEvent> ChaosState::pop_due(std::uint64_t now) {
+  if (cursor_ >= events_.size() || events_[cursor_].at > now)
+    return std::nullopt;
+  const ChaosEvent ev = events_[cursor_++];
+  const ChaosPhase& phase = schedule_.phases[ev.phase];
+  switch (ev.kind) {
+    case ChaosEvent::Kind::kPhaseBegin:
+      current_phase_ = ev.phase;
+      if (phase.kind == ChaosPhase::Kind::kPartition)
+        active_partitions_.push_back(ev.phase);
+      if (phase.kind == ChaosPhase::Kind::kStorm)
+        active_storms_.push_back(ev.phase);
+      break;
+    case ChaosEvent::Kind::kChurnWave:
+      break;
+    case ChaosEvent::Kind::kPhaseEnd:
+      active_partitions_.erase(std::remove(active_partitions_.begin(),
+                                           active_partitions_.end(), ev.phase),
+                               active_partitions_.end());
+      active_storms_.erase(std::remove(active_storms_.begin(),
+                                       active_storms_.end(), ev.phase),
+                           active_storms_.end());
+      break;
+  }
+  return ev;
+}
+
+std::optional<std::uint64_t> ChaosState::next_event_at() const {
+  if (cursor_ >= events_.size()) return std::nullopt;
+  return events_[cursor_].at;
+}
+
+bool ChaosState::blocked(ProcessId from, ProcessId to,
+                         ChaosPhase::PartitionMode* mode,
+                         std::size_t* phase) const {
+  for (std::size_t idx : active_partitions_) {
+    const ChaosPhase& p = schedule_.phases[idx];
+    if ((from < p.boundary) != (to < p.boundary)) {
+      if (mode != nullptr) *mode = p.partition_mode;
+      if (phase != nullptr) *phase = idx;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::size_t> ChaosState::active_storm() const {
+  if (active_storms_.empty()) return std::nullopt;
+  return active_storms_.front();
+}
+
+}  // namespace coincidence::sim

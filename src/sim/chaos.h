@@ -1,0 +1,153 @@
+// Chaos orchestration plane: a deterministic, seeded schedule of
+// substrate-level hostility executed by the Simulation itself.
+//
+// A ChaosSchedule is a list of phases on the delivery-event clock (the
+// simulator's only notion of time), each one of:
+//   partition  — split processes into [0, boundary) vs [boundary, n) and
+//                block cross-partition traffic until the phase ends
+//                (heals). mode=hold buffers blocked messages and releases
+//                them at heal time (the paper's "eventually delivered"
+//                asynchrony, stretched to the limit); mode=drop loses
+//                them at the link, which only a retransmitting transport
+//                (net::ReliableChannel) can survive.
+//   churn      — waves of kCrashRecover faults: every `every` deliveries
+//                the same <= f victim set crashes for `down` deliveries
+//                and restarts through Process::on_recover with its
+//                persisted snapshot. Re-corrupting an already-corrupted
+//                process is budget-free (sim/simulation.h), so waves
+//                cycle the SAME victims without exceeding f.
+//   storm      — message bursts: every send is duplicated with
+//                probability p into 1..copies extra network copies,
+//                modelling congestion-driven amplification.
+//
+// Phases are data, not callbacks: a schedule round-trips through a
+// one-line spec string ("churn@0+4000:victims=2,down=300,every=900;...")
+// so any chaos run is reproducible from (seed, config, schedule) alone —
+// the triple the invariant checker prints on violation. All storm
+// randomness burns a dedicated Rng stream derived from the simulation
+// seed (like link faults), so enabling chaos never perturbs the
+// adversary's or the processes' random streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace coincidence::sim {
+
+struct ChaosPhase {
+  enum class Kind { kPartition, kChurn, kStorm };
+  enum class PartitionMode { kHold, kDrop };
+
+  Kind kind = Kind::kPartition;
+  /// Delivery tick the phase begins (the simulator's clock).
+  std::uint64_t start = 0;
+  /// Ticks the phase stays active; it ends (a partition heals, a storm
+  /// quiets, churn waves stop) at start + duration.
+  std::uint64_t duration = 0;
+
+  // kPartition: groups are [0, boundary) and [boundary, n).
+  ProcessId boundary = 0;
+  PartitionMode partition_mode = PartitionMode::kHold;
+
+  // kChurn.
+  std::size_t churn_victims = 0;   // processes cycled per wave
+  std::uint64_t churn_down = 0;    // deliveries a victim stays down
+  std::uint64_t churn_every = 0;   // gap between waves (0 = one wave)
+
+  // kStorm.
+  double storm_p = 0.0;            // per-send burst probability
+  std::size_t storm_copies = 1;    // max extra copies per burst
+
+  std::uint64_t end() const { return start + duration; }
+  const char* kind_name() const;
+
+  static ChaosPhase partition(std::uint64_t start, std::uint64_t duration,
+                              ProcessId boundary,
+                              PartitionMode mode = PartitionMode::kHold);
+  static ChaosPhase churn(std::uint64_t start, std::uint64_t duration,
+                          std::size_t victims, std::uint64_t down,
+                          std::uint64_t every);
+  static ChaosPhase storm(std::uint64_t start, std::uint64_t duration,
+                          double p, std::size_t copies);
+};
+
+struct ChaosSchedule {
+  std::vector<ChaosPhase> phases;
+
+  bool empty() const { return phases.empty(); }
+
+  /// Largest victim count over the churn phases — the corruption-budget
+  /// headroom a run must reserve for churn.
+  std::size_t max_churn_victims() const;
+
+  /// One-line canonical spec: "kind@start+duration:k=v,...;kind@...".
+  /// parse(spec()) reproduces the schedule exactly.
+  std::string spec() const;
+
+  /// Parses a spec string; throws ConfigError on malformed input.
+  static ChaosSchedule parse(const std::string& spec);
+
+  /// Named presets scaled to n processes: "partition-hold",
+  /// "partition-drop", "churn", "storm", "adaptive" (empty schedule — the
+  /// hostility comes from the adversary), "combined". Throws ConfigError
+  /// for unknown names.
+  static ChaosSchedule preset(const std::string& name, std::size_t n);
+  static const std::vector<std::string>& preset_names();
+};
+
+/// A chaos schedule event the Simulation must act on: a phase beginning
+/// or ending, or a churn wave firing inside a churn phase.
+struct ChaosEvent {
+  enum class Kind { kPhaseBegin, kChurnWave, kPhaseEnd };
+  Kind kind = Kind::kPhaseBegin;
+  std::size_t phase = 0;  // index into ChaosSchedule::phases
+  std::uint64_t at = 0;   // delivery tick the event is due
+};
+
+/// Runtime cursor over a schedule: precomputes the full event list at
+/// construction (pure function of the schedule — no randomness), hands
+/// events to the Simulation in deterministic order, and tracks which
+/// partition phases are currently active for the per-send block check.
+class ChaosState {
+ public:
+  explicit ChaosState(ChaosSchedule schedule);
+
+  const ChaosSchedule& schedule() const { return schedule_; }
+
+  /// Pops the next event due at or before `now` (and updates the active-
+  /// partition set); nullopt when nothing is due yet.
+  std::optional<ChaosEvent> pop_due(std::uint64_t now);
+
+  /// Tick of the next unconsumed event — the idle-advance target when
+  /// the network drains mid-schedule (a heal must fire even if nothing
+  /// is in flight to deliver).
+  std::optional<std::uint64_t> next_event_at() const;
+
+  /// An active partition separates `from` and `to`; `*mode` receives the
+  /// blocking phase's mode and `*phase` its index.
+  bool blocked(ProcessId from, ProcessId to, ChaosPhase::PartitionMode* mode,
+               std::size_t* phase) const;
+
+  bool any_active_partition() const { return !active_partitions_.empty(); }
+
+  /// Index of the storm phase active right now, if any.
+  std::optional<std::size_t> active_storm() const;
+
+  /// Latest phase that has begun (for violation/telemetry labeling);
+  /// npos before the first phase.
+  std::size_t current_phase() const { return current_phase_; }
+
+ private:
+  ChaosSchedule schedule_;
+  std::vector<ChaosEvent> events_;  // sorted by (at, phase, kind)
+  std::size_t cursor_ = 0;
+  std::vector<std::size_t> active_partitions_;
+  std::vector<std::size_t> active_storms_;
+  std::size_t current_phase_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace coincidence::sim

@@ -1,0 +1,139 @@
+#include "sim/invariants.h"
+
+#include <sstream>
+
+namespace coincidence::sim {
+
+InvariantChecker::InvariantChecker(Config cfg)
+    : cfg_(std::move(cfg)), recovered_(cfg_.n, false) {}
+
+void InvariantChecker::violate(std::string invariant, std::string detail) {
+  Violation v;
+  v.invariant = std::move(invariant);
+  v.detail = std::move(detail);
+  v.chaos_phase = current_phase_;
+  violations_.push_back(std::move(v));
+}
+
+bool InvariantChecker::in_scope(const std::string& scope) const {
+  for (const std::string& s : cfg_.agreement_scopes)
+    if (s == scope) return true;
+  return false;
+}
+
+void InvariantChecker::on_send(const Message& msg, bool sender_correct) {
+  if (msg.words == 0 || msg.words > cfg_.max_message_words) {
+    std::ostringstream os;
+    os << "message " << msg.tag.str() << " from " << msg.from << " carries "
+       << msg.words << " words";
+    violate("word-count", os.str());
+  }
+  // Mirror Metrics::record_send exactly: correct senders' non-repair
+  // traffic is the §2 measure; the finalize cross-check must reproduce
+  // it to the word.
+  if (sender_correct && !msg.retransmit) correct_words_tally_ += msg.words;
+}
+
+void InvariantChecker::on_decide(const DecideEvent& event) {
+  if (!event.correct) return;  // Byzantine "decisions" carry no promise
+  const std::string& scope = event.scope.str();
+  if (!in_scope(scope)) return;
+
+  // Integrity / no-divergence-across-recovery: a process may report its
+  // decision more than once (e.g. after a crash-recovery replays the
+  // deciding round), but never a *different* value.
+  const auto who_key = std::make_pair(scope, event.who);
+  auto prior = decided_.find(who_key);
+  if (prior != decided_.end()) {
+    if (prior->second != event.value) {
+      std::ostringstream os;
+      os << "process " << event.who << " decided " << prior->second
+         << " then " << event.value << " in scope " << scope
+         << (event.who < recovered_.size() && recovered_[event.who]
+                 ? " (across a recovery)"
+                 : "");
+      violate("integrity", os.str());
+    }
+  } else {
+    decided_.emplace(who_key, event.value);
+  }
+
+  auto first = first_decision_.find(scope);
+  if (first != first_decision_.end()) {
+    if (first->second != event.value) {
+      std::ostringstream os;
+      os << "scope " << scope << ": process " << event.who << " decided "
+         << event.value << " but an earlier correct process decided "
+         << first->second;
+      violate("agreement", os.str());
+    }
+  } else {
+    first_decision_.emplace(scope, event.value);
+  }
+
+  if (cfg_.expected_decision && event.value != *cfg_.expected_decision) {
+    std::ostringstream os;
+    os << "scope " << scope << ": process " << event.who << " decided "
+       << event.value << " against unanimous input "
+       << *cfg_.expected_decision;
+    violate("validity", os.str());
+  }
+}
+
+void InvariantChecker::on_corrupt(ProcessId target,
+                                  const FaultPlan& /*plan*/) {
+  // The runtime only surfaces *fresh* corruptions through this hook, so
+  // counting calls counts distinct corrupted processes.
+  ++fresh_corruptions_;
+  if (fresh_corruptions_ > cfg_.f) {
+    std::ostringstream os;
+    os << "corruption of process " << target << " is number "
+       << fresh_corruptions_ << " against budget f=" << cfg_.f;
+    violate("budget", os.str());
+  }
+}
+
+void InvariantChecker::on_recover(ProcessId target) {
+  if (target < recovered_.size()) recovered_[target] = true;
+}
+
+void InvariantChecker::on_chaos_phase(std::size_t index, const char* /*kind*/,
+                                      bool begin, std::uint64_t /*at*/) {
+  if (begin) current_phase_ = index;
+}
+
+void InvariantChecker::finalize(std::uint64_t metrics_correct_words,
+                                std::size_t held_remaining,
+                                std::size_t corrupted_count) {
+  if (correct_words_tally_ != metrics_correct_words) {
+    std::ostringstream os;
+    os << "observer-side correct-word tally " << correct_words_tally_
+       << " != Metrics::correct_words() " << metrics_correct_words;
+    violate("word-count", os.str());
+  }
+  if (held_remaining != 0) {
+    std::ostringstream os;
+    os << held_remaining
+       << " messages still held by an unhealed chaos partition at run end";
+    violate("heal", os.str());
+  }
+  if (corrupted_count > cfg_.f) {
+    std::ostringstream os;
+    os << "final corrupted count " << corrupted_count << " exceeds f="
+       << cfg_.f;
+    violate("budget", os.str());
+  }
+}
+
+std::string InvariantChecker::describe(const Violation& v) {
+  std::ostringstream os;
+  os << "invariant=" << v.invariant << " phase=";
+  if (v.chaos_phase == static_cast<std::size_t>(-1))
+    os << "-";
+  else
+    os << v.chaos_phase;
+  os << " detail=\"" << v.detail << '"';
+  return os.str();
+}
+
+}  // namespace coincidence::sim

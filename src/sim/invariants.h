@@ -1,0 +1,108 @@
+// Online invariant checking: an Observer that turns every run — chaos
+// or not — into a self-auditing safety test.
+//
+// The checker watches the event stream (decisions, corruptions,
+// recoveries, sends, chaos phases) and records a Violation the moment a
+// protocol guarantee breaks, labelled with the chaos phase active at
+// that moment — the third coordinate of the (seed, config,
+// schedule-phase) repro triple the runner prints.
+//
+// Invariant catalog (docs/CHAOS.md):
+//   agreement   — no two correct processes decide differently in the
+//                 same agreement scope. Scopes are opt-in: coin
+//                 sub-protocols are *weak* coins and may legitimately
+//                 disagree, so only the protocol's top-level tag (e.g.
+//                 "ba", "mmr") is registered.
+//   validity    — with a unanimous-input oracle configured, every
+//                 correct decision equals the unanimous input.
+//   integrity   — one process never decides two different values in one
+//                 scope; because decisions survive crash-recovery only
+//                 through the persisted snapshot, this is exactly the
+//                 "no decide divergence across recoveries" check.
+//   budget      — the corrupted set never exceeds f (fresh corruption
+//                 events are counted; re-corruptions are free).
+//   heal        — every chaos partition eventually heals: no message is
+//                 still held when the run ends (finalize).
+//   word-count  — per-message word sanity plus an exact cross-check:
+//                 the checker's own correct-word tally must equal
+//                 Metrics::correct_words() to the word at finalize.
+//
+// Observers are passive; the checker never throws mid-run. The harness
+// reads violations() (or ok()) after the run and decides how loudly to
+// fail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/observer.h"
+
+namespace coincidence::sim {
+
+class InvariantChecker final : public Observer {
+ public:
+  struct Config {
+    std::size_t n = 0;
+    /// Corruption budget the run was configured with.
+    std::size_t f = 0;
+    /// DecideEvent scopes where agreement/validity/integrity must hold
+    /// (exact match on the scope tag). Sub-protocol scopes (weak coins,
+    /// approvers) are intentionally not checkable for agreement.
+    std::vector<std::string> agreement_scopes;
+    /// Validity oracle: with unanimous input v, decisions must equal v.
+    std::optional<int> expected_decision;
+    /// Word-count sanity bound per message (generous: the largest legal
+    /// message is an ok-certificate of 2 + 2W words).
+    std::uint64_t max_message_words = 1u << 20;
+  };
+
+  struct Violation {
+    std::string invariant;  // catalog key: "agreement", "validity", ...
+    std::string detail;
+    /// Chaos phase active when the violation fired (SIZE_MAX = none).
+    std::size_t chaos_phase = static_cast<std::size_t>(-1);
+  };
+
+  explicit InvariantChecker(Config cfg);
+
+  void on_send(const Message& msg, bool sender_correct) override;
+  void on_decide(const DecideEvent& event) override;
+  void on_corrupt(ProcessId target, const FaultPlan& plan) override;
+  void on_recover(ProcessId target) override;
+  void on_chaos_phase(std::size_t index, const char* kind, bool begin,
+                      std::uint64_t at) override;
+
+  /// Run-end checks that need facts only the harness can supply: the
+  /// Metrics word total (exact cross-check), the count of messages still
+  /// held by unhealed partitions, and the final corrupted count.
+  void finalize(std::uint64_t metrics_correct_words,
+                std::size_t held_remaining, std::size_t corrupted_count);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// One-line "invariant=... phase=... detail=..." rendering of a
+  /// violation, the payload of the runner's repro line.
+  static std::string describe(const Violation& v);
+
+ private:
+  void violate(std::string invariant, std::string detail);
+  bool in_scope(const std::string& scope) const;
+
+  Config cfg_;
+  std::vector<Violation> violations_;
+  std::size_t fresh_corruptions_ = 0;
+  std::size_t current_phase_ = static_cast<std::size_t>(-1);
+  std::uint64_t correct_words_tally_ = 0;
+  // First correct decision per scope (agreement) and per (scope,
+  // process) (integrity / recovery divergence).
+  std::map<std::string, int> first_decision_;
+  std::map<std::pair<std::string, ProcessId>, int> decided_;
+  std::vector<bool> recovered_;
+};
+
+}  // namespace coincidence::sim

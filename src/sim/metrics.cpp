@@ -219,7 +219,14 @@ void Metrics::to_json(std::ostream& os) const {
      << ",\"verify_flushes\":" << verify_flushes_
      << ",\"verify_shares\":" << verify_shares_
      << ",\"verify_rejects\":" << verify_rejects_
-     << ",\"verify_memo_hits\":" << verify_memo_hits_ << '}';
+     << ",\"verify_memo_hits\":" << verify_memo_hits_
+     << ",\"partition_held\":" << partition_held_
+     << ",\"partition_held_words\":" << partition_held_words_
+     << ",\"partition_dropped\":" << partition_dropped_
+     << ",\"partition_dropped_words\":" << partition_dropped_words_
+     << ",\"partition_released\":" << partition_released_
+     << ",\"storm_copies\":" << storm_copies_
+     << ",\"churn_crashes\":" << churn_crashes_ << '}';
 
   os << ",\"decide_rounds\":";
   json_escape(os, decide_rounds_.summary());
@@ -296,7 +303,17 @@ void Metrics::to_prometheus(std::ostream& os) const {
      << "# TYPE coincidence_verify_rejects_total counter\n"
      << "coincidence_verify_rejects_total " << verify_rejects_ << '\n'
      << "# TYPE coincidence_verify_memo_hits_total counter\n"
-     << "coincidence_verify_memo_hits_total " << verify_memo_hits_ << '\n';
+     << "coincidence_verify_memo_hits_total " << verify_memo_hits_ << '\n'
+     << "# TYPE coincidence_partition_held_total counter\n"
+     << "coincidence_partition_held_total " << partition_held_ << '\n'
+     << "# TYPE coincidence_partition_dropped_total counter\n"
+     << "coincidence_partition_dropped_total " << partition_dropped_ << '\n'
+     << "# TYPE coincidence_partition_released_total counter\n"
+     << "coincidence_partition_released_total " << partition_released_ << '\n'
+     << "# TYPE coincidence_storm_copies_total counter\n"
+     << "coincidence_storm_copies_total " << storm_copies_ << '\n'
+     << "# TYPE coincidence_churn_crashes_total counter\n"
+     << "coincidence_churn_crashes_total " << churn_crashes_ << '\n';
 
   os << "# TYPE coincidence_phase_words_total counter\n";
   for (const auto& [phase, words] : words_by_phase())
@@ -334,6 +351,13 @@ void Metrics::reset() {
   verify_shares_ = 0;
   verify_rejects_ = 0;
   verify_memo_hits_ = 0;
+  partition_held_ = 0;
+  partition_held_words_ = 0;
+  partition_dropped_ = 0;
+  partition_dropped_words_ = 0;
+  partition_released_ = 0;
+  storm_copies_ = 0;
+  churn_crashes_ = 0;
   words_by_tag_id_.clear();
   detail_by_tag_id_.clear();
   decide_rounds_ = Histogram{};

@@ -95,6 +95,22 @@ class Metrics {
     dead_letter_words_ += words;
   }
 
+  // Chaos orchestration events (sim/chaos.h). Always on — chaos runs
+  // exist to be audited, and the counters are the audit trail.
+  void record_partition_hold(const Message& msg) {
+    ++partition_held_;
+    partition_held_words_ += msg.words;
+  }
+  void record_partition_drop(const Message& msg) {
+    ++partition_dropped_;
+    partition_dropped_words_ += msg.words;
+  }
+  void record_partition_release(std::size_t count) {
+    partition_released_ += count;
+  }
+  void record_storm_copy() { ++storm_copies_; }
+  void record_churn_crash() { ++churn_crashes_; }
+
   /// A deferred-verification batch flushed (Context::note_verify_batch).
   /// Always on — rejected shares are discarded protocol input and must
   /// be accounted, never invisible.
@@ -131,6 +147,20 @@ class Metrics {
   // Dead-letter accounting (frames a transport gave up on).
   std::uint64_t dead_letters() const { return dead_letters_; }
   std::uint64_t dead_letter_words() const { return dead_letter_words_; }
+  // Chaos-partition accounting: held messages are buffered cross-
+  // partition traffic awaiting the heal; dropped ones are gone (drop
+  // mode); released counts what the heal pushed back into the pool.
+  // held == released at quiescence is the "partitions eventually heal"
+  // invariant's metric side.
+  std::uint64_t partition_held() const { return partition_held_; }
+  std::uint64_t partition_held_words() const { return partition_held_words_; }
+  std::uint64_t partition_dropped() const { return partition_dropped_; }
+  std::uint64_t partition_dropped_words() const {
+    return partition_dropped_words_;
+  }
+  std::uint64_t partition_released() const { return partition_released_; }
+  std::uint64_t storm_copies() const { return storm_copies_; }
+  std::uint64_t churn_crashes() const { return churn_crashes_; }
   // Deferred-verification accounting (coin/verify_queue.h).
   std::uint64_t verify_flushes() const { return verify_flushes_; }
   std::uint64_t verify_shares() const { return verify_shares_; }
@@ -193,6 +223,13 @@ class Metrics {
   std::uint64_t verify_shares_ = 0;
   std::uint64_t verify_rejects_ = 0;
   std::uint64_t verify_memo_hits_ = 0;
+  std::uint64_t partition_held_ = 0;
+  std::uint64_t partition_held_words_ = 0;
+  std::uint64_t partition_dropped_ = 0;
+  std::uint64_t partition_dropped_words_ = 0;
+  std::uint64_t partition_released_ = 0;
+  std::uint64_t storm_copies_ = 0;
+  std::uint64_t churn_crashes_ = 0;
   // Correct-sender words per full tag, indexed by TagId (grown lazily).
   std::vector<std::uint64_t> words_by_tag_id_;
 

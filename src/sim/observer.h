@@ -76,6 +76,19 @@ class Observer {
   /// event count the message spent pending).
   virtual void on_adversary_choice(const MessageMeta& /*msg*/,
                                    bool /*forced_by_fairness*/) {}
+
+  /// A chaos schedule phase (sim/chaos.h) began (`begin`) or ended at
+  /// delivery tick `at`. `kind` is the phase's kind_name(); `index` its
+  /// position in the schedule — the coordinate the failing-seed repro
+  /// triple (seed, config, schedule-phase) points at.
+  virtual void on_chaos_phase(std::size_t /*index*/, const char* /*kind*/,
+                              bool /*begin*/, std::uint64_t /*at*/) {}
+
+  /// An active chaos partition blocked `msg`: `held`=true means the
+  /// message was buffered and will be released when the partition heals,
+  /// false means it was lost at the link (drop mode — only a
+  /// retransmitting transport delivers its payload eventually).
+  virtual void on_partition_block(const Message& /*msg*/, bool /*held*/) {}
 };
 
 }  // namespace coincidence::sim

@@ -106,14 +106,19 @@ class Simulation::SlotContext final : public Context {
 // run without link faults — enabling a NetworkProfile must not change
 // anything else about the run.
 Simulation::Simulation(SimConfig cfg)
-    : cfg_(cfg),
-      rng_(cfg.seed),
-      link_rng_(cfg.seed ^ 0x6c696e6b5f726e67ULL),
-      network_reliable_(cfg.network.reliable()) {
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      link_rng_(cfg_.seed ^ 0x6c696e6b5f726e67ULL),
+      chaos_rng_(cfg_.seed ^ 0x6368616f73726e67ULL),
+      network_reliable_(cfg_.network.reliable()) {
   COIN_REQUIRE(cfg_.n > 0, "Simulation needs at least one process");
   if (cfg_.fairness_bound == 0) cfg_.fairness_bound = 16 * cfg_.n;
   adversary_ = std::make_unique<RandomAdversary>();
   slots_.reserve(cfg_.n);
+  if (!cfg_.chaos.empty()) {
+    chaos_ = std::make_unique<ChaosState>(cfg_.chaos);
+    churn_victims_.resize(cfg_.chaos.phases.size());
+  }
 }
 
 Simulation::~Simulation() = default;
@@ -245,6 +250,48 @@ void Simulation::enqueue_send(ProcessId from, ProcessId to, Tag tag,
 // reliable, so (a) runs are replayable and (b) reliable runs are
 // byte-identical to pre-link-fault behaviour.
 void Simulation::push_through_link(Message msg) {
+  // Chaos partition gate: an active partition intercepts cross-group
+  // traffic before any link-plan randomness is drawn. Held messages skip
+  // the link layer entirely and re-enter the pool verbatim at heal time
+  // (they "traversed" the link once; the partition only delayed them).
+  if (chaos_ && chaos_->any_active_partition()) {
+    ChaosPhase::PartitionMode mode = ChaosPhase::PartitionMode::kHold;
+    std::size_t phase = 0;
+    if (chaos_->blocked(msg.from, msg.to, &mode, &phase)) {
+      if (mode == ChaosPhase::PartitionMode::kHold) {
+        metrics_.record_partition_hold(msg);
+        for (auto& obs : observers_) obs->on_partition_block(msg, true);
+        held_.emplace_back(phase, std::move(msg));
+      } else {
+        metrics_.record_partition_drop(msg);
+        for (auto& obs : observers_) obs->on_partition_block(msg, false);
+      }
+      return;
+    }
+  }
+
+  // Chaos storm burst: congestion-style amplification, drawn from the
+  // dedicated chaos Rng so storms never perturb link or scheduling
+  // streams. Copies are network-created (like link duplicates) and
+  // charge no words to anyone.
+  if (chaos_) {
+    if (std::optional<std::size_t> storm = chaos_->active_storm()) {
+      const ChaosPhase& p = chaos_->schedule().phases[*storm];
+      if (p.storm_p > 0.0 && chaos_rng_.next_bool(p.storm_p)) {
+        std::size_t copies = 1;
+        if (p.storm_copies > 1)
+          copies += static_cast<std::size_t>(
+              chaos_rng_.next_below(p.storm_copies));
+        for (std::size_t i = 0; i < copies; ++i) {
+          Message dup = msg;
+          dup.id = next_msg_id_++;
+          metrics_.record_storm_copy();
+          pending_.push(std::move(dup), deliveries_);
+        }
+      }
+    }
+  }
+
   // Fully-reliable networks (the common case) skip the per-link plan
   // lookup entirely — one cached bool instead of a hash probe per send.
   if (network_reliable_) {
@@ -410,6 +457,13 @@ std::optional<std::uint64_t> Simulation::next_timer_due() const {
     std::uint64_t r = std::get<0>(recoveries_.top());
     if (!due || r < *due) due = r;
   }
+  // Chaos events participate in idle advance: a heal (or churn wave)
+  // must fire even when nothing is in flight — otherwise a drained
+  // network would strand held messages behind a partition forever.
+  if (chaos_) {
+    std::optional<std::uint64_t> c = chaos_->next_event_at();
+    if (c && (!due || *c < *due)) due = c;
+  }
   return due;
 }
 
@@ -446,6 +500,81 @@ void Simulation::fire_due_timers() {
   }
 }
 
+// ------------------------------------------------------------- chaos --
+
+void Simulation::run_chaos_due() {
+  if (!chaos_) return;
+  while (std::optional<ChaosEvent> ev = chaos_->pop_due(deliveries_)) {
+    const ChaosPhase& phase = chaos_->schedule().phases[ev->phase];
+    switch (ev->kind) {
+      case ChaosEvent::Kind::kPhaseBegin:
+        for (auto& obs : observers_)
+          obs->on_chaos_phase(ev->phase, phase.kind_name(), true,
+                              deliveries_);
+        break;
+      case ChaosEvent::Kind::kChurnWave:
+        churn_wave(ev->phase);
+        break;
+      case ChaosEvent::Kind::kPhaseEnd:
+        if (phase.kind == ChaosPhase::Kind::kPartition)
+          release_partition(ev->phase);
+        for (auto& obs : observers_)
+          obs->on_chaos_phase(ev->phase, phase.kind_name(), false,
+                              deliveries_);
+        break;
+    }
+  }
+}
+
+void Simulation::churn_wave(std::size_t phase_idx) {
+  const ChaosPhase& phase = chaos_->schedule().phases[phase_idx];
+  std::vector<ProcessId>& victims = churn_victims_[phase_idx];
+  if (victims.empty()) {
+    // First wave: claim the highest not-yet-corrupted ids. The runner's
+    // static fault mix occupies the very top, so churn lands directly
+    // below it; later waves cycle this same set, which re-corruption
+    // makes budget-free.
+    for (ProcessId id = static_cast<ProcessId>(cfg_.n);
+         id > 0 && victims.size() < phase.churn_victims;) {
+      --id;
+      if (!slots_[id]->corrupted) victims.push_back(id);
+    }
+  }
+  for (ProcessId id : victims) {
+    Slot& slot = *slots_[id];
+    // Skip victims that are still down (a wave must not extend a crash
+    // already in progress) or that the adversary meanwhile repurposed
+    // with a non-recovering behaviour — churn must never *heal* a
+    // corruption it does not own.
+    if (slot.corrupted && slot.fault.mode != FaultPlan::Mode::kCorrect)
+      continue;
+    // Fresh corruptions respect the budget like adversary requests do.
+    if (!slot.corrupted && corrupted_count_ >= cfg_.f) continue;
+    metrics_.record_churn_crash();
+    corrupt(id, FaultPlan::crash_recover(phase.churn_down));
+  }
+}
+
+void Simulation::release_partition(std::size_t phase_idx) {
+  if (held_.empty()) return;
+  std::vector<std::pair<std::size_t, Message>> kept;
+  kept.reserve(held_.size());
+  std::size_t released = 0;
+  for (auto& entry : held_) {
+    if (entry.first == phase_idx) {
+      // Healed: the message re-enters the pool now, with a fresh enqueue
+      // tick — its fairness clock starts at the heal, not at the
+      // original send (the partition, not the adversary, delayed it).
+      pending_.push(std::move(entry.second), deliveries_);
+      ++released;
+    } else {
+      kept.push_back(std::move(entry));
+    }
+  }
+  held_.swap(kept);
+  metrics_.record_partition_release(released);
+}
+
 void Simulation::apply_corruptions() {
   for (auto& req : adversary_->corrupt_now(rng_)) {
     if (req.target >= slots_.size()) continue;
@@ -460,6 +589,7 @@ void Simulation::start() {
   COIN_REQUIRE(slots_.size() == cfg_.n, "start: missing processes");
   started_ = true;
   apply_corruptions();
+  run_chaos_due();  // phases starting at tick 0 fire before on_start
   for (auto& slot : slots_) {
     if (slot->corrupted && slot->crash_like()) continue;
     slot->process->on_start(*slot->context);
@@ -470,19 +600,22 @@ void Simulation::start() {
 bool Simulation::step() {
   COIN_REQUIRE(started_, "step before start");
   fire_due_timers();
+  run_chaos_due();
 
   if (pending_.empty()) {
-    // Idle network. If a wakeup or restart is scheduled, advance "time"
-    // straight to it (deliveries are the only clock; nothing else can
-    // move it while no message is in flight). Its callback may enqueue
-    // new sends — retransmissions typically do — so this revives runs a
-    // pure drop-fault would otherwise strand.
+    // Idle network. If a wakeup, restart or chaos event is scheduled,
+    // advance "time" straight to it (deliveries are the only clock;
+    // nothing else can move it while no message is in flight). Its
+    // callback may enqueue new sends — retransmissions typically do —
+    // and a heal releases held messages, so this revives runs a pure
+    // drop-fault or unhealed partition would otherwise strand.
     auto due = next_timer_due();
     if (!due) return false;
     if (*due >= cfg_.max_deliveries)
       throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
     deliveries_ = std::max(deliveries_, *due);
     fire_due_timers();
+    run_chaos_due();
     return true;
   }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/adversary.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/flat_map64.h"
 #include "sim/link.h"
@@ -55,6 +56,11 @@ struct SimConfig {
   /// (never the scheduling Rng), so enabling them does not perturb the
   /// adversary's or the processes' random streams.
   NetworkProfile network;
+  /// Chaos orchestration schedule (sim/chaos.h): scripted partitions,
+  /// churn waves and storm bursts executed on the delivery clock. Empty
+  /// (the default) costs nothing; storm randomness burns a dedicated Rng
+  /// like link faults, so schedules never perturb other streams.
+  ChaosSchedule chaos;
 };
 
 class Simulation {
@@ -132,6 +138,18 @@ class Simulation {
   const std::deque<Message>* replay_history_of(ProcessId from,
                                                ProcessId to) const;
 
+  /// Messages currently buffered by an unhealed chaos partition. Must be
+  /// zero at quiescence of a well-formed schedule — the "partitions
+  /// eventually heal" invariant the checker asserts at run end.
+  std::size_t chaos_held() const { return held_.size(); }
+
+  /// Latest chaos phase begun (index into SimConfig::chaos.phases), or
+  /// SIZE_MAX before the first phase / without a schedule. The repro
+  /// triple's schedule-phase coordinate.
+  std::size_t chaos_phase() const {
+    return chaos_ ? chaos_->current_phase() : static_cast<std::size_t>(-1);
+  }
+
  private:
   struct Slot;       // per-process runtime state
   class SlotContext; // Context implementation bound to one slot
@@ -164,9 +182,15 @@ class Simulation {
   std::optional<std::uint64_t> next_timer_due() const;
   void recover_process(ProcessId id);
 
+  // Chaos orchestration (sim/chaos.h): consume schedule events due now.
+  void run_chaos_due();
+  void churn_wave(std::size_t phase_idx);
+  void release_partition(std::size_t phase_idx);
+
   SimConfig cfg_;
   Rng rng_;
   Rng link_rng_;  // dedicated stream: link faults never perturb scheduling
+  Rng chaos_rng_;  // dedicated stream for storm bursts
   // Cached cfg_.network.reliable(): reliable runs (the common case) skip
   // the per-send link-plan lookup and the per-delivery history check.
   bool network_reliable_ = true;
@@ -192,6 +216,14 @@ class Simulation {
   TimerHeap wakeups_;
   TimerHeap recoveries_;
   std::uint64_t timer_seq_ = 0;
+
+  // Chaos runtime: the schedule cursor, cross-partition messages held
+  // until their partition heals (tagged with the blocking phase), and
+  // the per-churn-phase victim sets (chosen at the first wave, then
+  // re-corrupted — budget-free — on every later wave).
+  std::unique_ptr<ChaosState> chaos_;
+  std::vector<std::pair<std::size_t, Message>> held_;
+  std::vector<std::vector<ProcessId>> churn_victims_;
 
   // Per-link ring of recently delivered messages: replay candidates.
   // Keyed (from << 32 | to) on a flat hash; the Message copies stored
