@@ -21,6 +21,7 @@
 #include "ba/ba_whp.h"
 #include "bench_json.h"
 #include "coin/coin_protocol.h"
+#include "coin/verify_queue.h"
 #include "coin/whp_coin.h"
 #include "committee/params.h"
 #include "committee/sampler.h"
@@ -176,6 +177,18 @@ class NullSampler final : public committee::Sampler {
     return std::memcmp(expect, proof.data(), 32) == 0;
   }
 
+  /// Batch contract: out[i] == committee_val(checks[i]). The base-class
+  /// batch decodes real VRF proof wire format, which would reject every
+  /// null proof — a stub sampler must loop its own committee_val.
+  void committee_val_batch(std::span<const committee::Sampler::ValCheck> checks,
+                           std::vector<char>& out) const override {
+    out.assign(checks.size(), 0);
+    for (std::size_t i = 0; i < checks.size(); ++i)
+      out[i] =
+          committee_val(*checks[i].seed, checks[i].id, checks[i].proof) ? 1
+                                                                        : 0;
+  }
+
  private:
   bool elect(crypto::ProcessId i, const std::string& seed,
              std::uint8_t proof[32]) const {
@@ -217,17 +230,26 @@ NullEnv make_null_env(std::size_t n, std::uint64_t seed) {
   return env;
 }
 
+/// Mirrors core::RunOptions::defer_verify for the bench workloads:
+/// deliveries and decisions are bit-identical either way (the deferred
+/// path's contract), so `--no-defer` isolates the batching/memo win.
+bool g_defer_verify = true;
+
 struct RunStats {
   std::uint64_t deliveries = 0;
   std::uint64_t allocs = 0;
   std::uint64_t bytes = 0;
   double seconds = 0.0;
+  std::uint64_t sig_checks = 0;
+  std::uint64_t sig_memo_hits = 0;
 
   void operator+=(const RunStats& o) {
     deliveries += o.deliveries;
     allocs += o.allocs;
     bytes += o.bytes;
     seconds += o.seconds;
+    sig_checks += o.sig_checks;
+    sig_memo_hits += o.sig_memo_hits;
   }
 };
 
@@ -272,9 +294,16 @@ RunStats run_whp_coin(std::size_t n, std::uint64_t seed) {
   });
 }
 
-/// One full BA-WHP agreement (split inputs) across n processes.
+/// One full BA-WHP agreement (split inputs) across n processes. The HMAC
+/// Signer here is REAL (only VRF + sampling are stubbed), so the W-sig
+/// ok-proof sweep dominates — exactly the hot path the shared
+/// BatchVerifier's SigMemo is built to collapse.
 RunStats run_ba_whp(std::size_t n, std::uint64_t seed) {
   NullEnv env = make_null_env(n, seed);
+  std::shared_ptr<coin::BatchVerifier> batcher;
+  if (g_defer_verify)
+    batcher = std::make_shared<coin::BatchVerifier>(
+        coin::BatchVerifier::Config{env.vrf, env.sampler, env.signer});
   sim::SimConfig cfg;
   cfg.n = n;
   cfg.f = 0;
@@ -288,11 +317,12 @@ RunStats run_ba_whp(std::size_t n, std::uint64_t seed) {
     bcfg.registry = env.registry;
     bcfg.sampler = env.sampler;
     bcfg.signer = env.signer;
+    bcfg.batcher = batcher;
     bcfg.max_rounds = 32;
     sim.add_process(std::make_unique<ba::BaWhp>(
         std::move(bcfg), static_cast<ba::Value>(i % 2)));
   }
-  return measure([&] {
+  RunStats s = measure([&] {
     sim.start();
     sim.run_until([&] {
       for (sim::ProcessId i = 0; i < n; ++i)
@@ -301,6 +331,11 @@ RunStats run_ba_whp(std::size_t n, std::uint64_t seed) {
     });
     return sim.metrics().deliveries();
   });
+  if (batcher) {
+    s.sig_checks = batcher->sig_checks();
+    s.sig_memo_hits = batcher->sig_memo().hits();
+  }
+  return s;
 }
 
 }  // namespace
@@ -311,6 +346,7 @@ int main(int argc, char** argv) {
   const std::size_t reps =
       static_cast<std::size_t>(args.get_int("reps", quick ? 1 : 5));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  g_defer_verify = !args.get_bool("no-defer", false);
   const std::string json_path =
       args.get("bench_json", args.get("json", ""));
 
@@ -319,6 +355,7 @@ int main(int argc, char** argv) {
   json.context("crypto", "null");
   json.context("reps", static_cast<double>(reps));
   json.context("seed", static_cast<double>(seed));
+  json.context("defer_verify", g_defer_verify ? 1.0 : 0.0);
 
   std::cout << "== simulator message-plane throughput (null crypto), reps="
             << reps << " ==\n\n";
@@ -357,6 +394,10 @@ int main(int argc, char** argv) {
       bench::BenchJson::field(row, "deliveries_per_sec", dps);
       bench::BenchJson::field(row, "allocs_per_delivery", apd);
       bench::BenchJson::field(row, "bytes_per_delivery", bpd);
+      bench::BenchJson::field(row, "sig_checks",
+                              static_cast<double>(total.sig_checks));
+      bench::BenchJson::field(row, "sig_memo_hits",
+                              static_cast<double>(total.sig_memo_hits));
       t.add_row({w.name, std::to_string(n),
                  std::to_string(total.deliveries),
                  Table::count(static_cast<std::uint64_t>(dps)),

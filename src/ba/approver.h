@@ -18,12 +18,21 @@
 // this satisfies validity, graded agreement and termination whp
 // (Lemmas 6.2–6.4). Word complexity O(nλ²) — the λ² comes from the W
 // signatures inside each ok message.
+//
+// Hot-path notes (the ba_whp throughput tentpole): echo payload fields
+// are retained as SharedBytes aliases of the delivered buffer (never deep
+// copied), the <echo,v> signing strings are hoisted into members, all
+// per-value/per-sender tracking uses flat arrays and bitmaps, and — when
+// a coin::BatchVerifier is configured — the W-signature sweep of each
+// <ok> is deferred into a pending queue flushed at threshold/watermark,
+// where the run-wide SigMemo collapses the n·W redundant HMAC checks to
+// ~W (every ok embeds the SAME signed echoes). Accept/reject sets and
+// all protocol state evolution are bit-identical to inline verification.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -48,9 +57,12 @@ class Approver {
     std::shared_ptr<const committee::Sampler> sampler;
     std::shared_ptr<const crypto::Signer> signer;
     /// When set, the W+1 election proofs inside each <ok> message are
-    /// checked in one committee_val_batch call (folded multi-exp + memo)
-    /// instead of W+1 inline committee_val calls. Accept/reject verdicts
-    /// are identical either way — committee_val is pure.
+    /// checked in one committee_val_batch call (folded multi-exp + memo),
+    /// the W HMAC echo signatures are deferred into a pending-ok queue
+    /// flushed through BatchVerifier::verify_signatures (SigMemo-dedup'd
+    /// across ok messages and receivers), and echo signatures answer from
+    /// the same memo. Accept/reject verdicts are identical either way —
+    /// committee_val and HMAC verification are pure.
     std::shared_ptr<coin::BatchVerifier> batcher;
   };
 
@@ -58,6 +70,7 @@ class Approver {
 
   /// `input` is this process's approve() argument (0, 1 or ⊥).
   Approver(Config cfg, Value input, DoneFn on_done = {});
+  ~Approver();
 
   void start(sim::Context& ctx);
   bool handle(sim::Context& ctx, const sim::Message& msg);
@@ -69,20 +82,45 @@ class Approver {
   bool in_init_committee() const { return in_init_; }
   bool in_ok_committee() const { return in_ok_; }
   bool sent_ok() const { return sent_ok_; }
+  std::size_t pending_oks() const { return pending_oks_.size(); }
 
  private:
+  /// A collected signed echo. `buf` aliases the delivered message buffer
+  /// (refcount bump), keeping the two views alive without a deep copy.
   struct SignedEcho {
     crypto::ProcessId sender = 0;
-    Bytes signature;
-    Bytes election_proof;
+    SharedBytes buf;
+    BytesView signature;
+    BytesView election_proof;
+  };
+
+  /// One ok-proof entry, borrowed from a retained message buffer.
+  struct OkProofEntry {
+    crypto::ProcessId sender = 0;
+    BytesView signature;
+    BytesView election_proof;
+  };
+
+  /// A decoded <ok> awaiting its deferred verification sweep. Its W
+  /// proof entries live in pending_entries_[first_entry, first_entry+W).
+  struct PendingOk {
+    SharedBytes buf;  // keeps every view alive
+    crypto::ProcessId sender = 0;
+    Value v = kZero;
+    BytesView election;
+    std::size_t first_entry = 0;
   };
 
   const std::string& init_seed() const { return init_seed_; }
   const std::string& echo_seed(Value v) const { return echo_seeds_[v]; }
   const std::string& ok_seed() const { return ok_seed_; }
 
-  /// The byte string an echo(v) member signs.
-  Bytes echo_sign_bytes(Value v) const;
+  /// The byte string an echo(v) member signs (hoisted member).
+  const Bytes& echo_sign_bytes(Value v) const { return echo_sign_bytes_[v]; }
+
+  /// insert().second over a growable bitmap (same contract as the old
+  /// std::set: out-of-range senders grow the map, never dropped).
+  static bool mark_seen(std::vector<bool>& seen, crypto::ProcessId from);
 
   void maybe_echo(sim::Context& ctx, Value v);
   void maybe_ok(sim::Context& ctx, Value v);
@@ -90,37 +128,70 @@ class Approver {
   bool handle_echo(sim::Context& ctx, const sim::Message& msg);
   bool handle_ok(sim::Context& ctx, const sim::Message& msg);
 
+  /// The state transition of one verified <ok,v> from `sender` — shared
+  /// verbatim by the inline and deferred paths (arrival order + the same
+  /// guards = bit-identical evolution).
+  void apply_ok(sim::Context& ctx, crypto::ProcessId sender, Value v);
+
+  /// Deferred path: flush every pending ok through one election batch +
+  /// one memoized signature batch, then apply survivors in arrival order.
+  void flush_ok_queue(sim::Context& ctx);
+  bool should_flush() const;
+
   Config cfg_;
   Value input_;
   DoneFn on_done_;
 
-  // Interned tags and committee seeds, built once at construction:
-  // handle() dispatches by integer id and the verifiers re-use the seed
-  // strings without per-message allocation.
+  // Interned tags, committee seeds and signing strings, built once at
+  // construction: handle() dispatches by integer id and the verifiers
+  // re-use the strings without per-message allocation.
   sim::Tag tag_init_;
   sim::Tag tag_echo_;
   sim::Tag tag_ok_;
   std::string init_seed_;
   std::string ok_seed_;
-  std::array<std::string, 3> echo_seeds_;  // indexed by Value {0, 1, ⊥}
+  std::array<std::string, 3> echo_seeds_;      // indexed by Value {0, 1, ⊥}
+  std::array<Bytes, 3> echo_sign_bytes_;       // <tag|"echo"|v> preimages
 
   bool in_init_ = false;
   bool in_ok_ = false;
   Bytes init_election_proof_;
   Bytes ok_election_proof_;
 
-  // init phase: distinct init-committee senders per value.
-  std::map<Value, std::set<crypto::ProcessId>> init_senders_;
-  std::set<Value> echoed_;  // values this process already echoed
+  // init phase: distinct init-committee senders per value (bitmap+count).
+  std::array<std::vector<bool>, 3> init_seen_;
+  std::array<std::uint32_t, 3> init_count_{};
+  std::array<bool, 3> echoed_{};  // values this process already echoed
 
   // echo phase: collected signed echoes per value.
-  std::map<Value, std::vector<SignedEcho>> echoes_;
-  std::map<Value, std::set<crypto::ProcessId>> echo_senders_;
+  std::array<std::vector<SignedEcho>, 3> echoes_;
+  std::array<std::vector<bool>, 3> echo_seen_;
   bool sent_ok_ = false;
 
   // ok phase.
-  std::set<crypto::ProcessId> ok_senders_;
-  std::set<Value> ok_values_;
+  std::vector<bool> ok_seen_;
+  std::uint32_t ok_count_ = 0;
+  std::uint8_t ok_mask_ = 0;       // bit v set ⟺ v carried by a valid ok
+  std::set<Value> ok_values_;      // materialized from ok_mask_ at done
+
+  // Deferred-verification queue (batcher only). pending_entries_ is the
+  // flat arena of proof entries, W per pending ok.
+  std::vector<PendingOk> pending_oks_;
+  std::vector<OkProofEntry> pending_entries_;
+
+  // Reused scratch (capacity persists across messages and flushes — the
+  // last avoidable allocations on the ok path). flush_oks_/flush_entries_
+  // swap with the pending queue so both sides keep their capacity.
+  std::vector<OkProofEntry> parse_scratch_;
+  std::vector<crypto::ProcessId> distinct_scratch_;
+  std::vector<PendingOk> flush_oks_;
+  std::vector<OkProofEntry> flush_entries_;
+  std::vector<committee::Sampler::ValCheck> check_scratch_;
+  std::vector<crypto::SigBatchEntry> sig_scratch_;
+  std::vector<char> election_ok_scratch_;
+  std::vector<char> verdict_scratch_;
+  std::vector<char> accept_scratch_;
+  std::vector<std::size_t> sig_ok_of_scratch_;
 
   bool done_ = false;
 };

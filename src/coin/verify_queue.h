@@ -31,6 +31,8 @@
 #include "common/parallel.h"
 #include "common/shared_bytes.h"
 #include "committee/sampler.h"
+#include "crypto/sig_memo.h"
+#include "crypto/signer.h"
 #include "crypto/verify_memo.h"
 #include "crypto/vrf.h"
 
@@ -49,6 +51,9 @@ class BatchVerifier {
     std::shared_ptr<const crypto::Vrf> vrf;  // required
     /// Needed only by callers that defer election checks (whp coin).
     std::shared_ptr<const committee::Sampler> sampler;
+    /// Needed only by callers that defer HMAC signature checks (the
+    /// approver's ok-proof sweep).
+    std::shared_ptr<const crypto::Signer> signer;
     /// Pending shares that force a queue flush.
     std::size_t watermark = 16;
     /// Entries per batch_verify call when splitting across the pool.
@@ -77,13 +82,35 @@ class BatchVerifier {
   void verify_elections(std::span<const committee::Sampler::ValCheck> checks,
                         std::vector<char>& out);
 
+  /// Verifies every signature entry: memo first, then ONE
+  /// Signer::batch_verify over the distinct misses (identical triples
+  /// within the flush verify once and fan the verdict out), memo filled
+  /// in entry order. out[i] is exactly what Signer::verify would return
+  /// for entries[i]. Requires a signer in the config.
+  FlushStats verify_signatures(std::span<const crypto::SigBatchEntry> entries,
+                               std::vector<char>& out);
+
+  /// One memoized signature check — the echo fast path: a broadcast
+  /// ⟨echo,v⟩ reaches n receivers who all share this verifier, so the
+  /// same (signer, message, sig) triple verifies once run-wide. Verdict
+  /// identical to Signer::verify. `memo_hit` (optional) reports whether
+  /// the memo answered.
+  bool check_signature(const crypto::SigBatchEntry& entry,
+                       bool* memo_hit = nullptr);
+
   std::size_t watermark() const { return cfg_.watermark; }
   const crypto::VerifyMemo& memo() const { return memo_; }
+  const crypto::SigMemo& sig_memo() const { return sig_memo_; }
 
   /// Cumulative counters across all flushes (all processes of the run).
   std::uint64_t batches() const { return batches_; }
   std::uint64_t shares() const { return shares_; }
   std::uint64_t rejects() const { return rejects_; }
+
+  /// Signature-path counters (verify_signatures + check_signature).
+  std::uint64_t sig_batches() const { return sig_batches_; }
+  std::uint64_t sig_checks() const { return sig_checks_; }
+  std::uint64_t sig_rejects() const { return sig_rejects_; }
 
   /// Queue-lifecycle ledger, maintained by the coins that defer into this
   /// verifier: every share enqueued into a PendingVerifyQueue is either
@@ -103,9 +130,13 @@ class BatchVerifier {
  private:
   Config cfg_;
   crypto::VerifyMemo memo_;
+  crypto::SigMemo sig_memo_;
   std::uint64_t batches_ = 0;
   std::uint64_t shares_ = 0;
   std::uint64_t rejects_ = 0;
+  std::uint64_t sig_batches_ = 0;
+  std::uint64_t sig_checks_ = 0;
+  std::uint64_t sig_rejects_ = 0;
   std::uint64_t enqueued_ = 0;
   std::uint64_t flushed_ = 0;
   std::uint64_t discarded_ = 0;

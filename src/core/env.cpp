@@ -15,7 +15,7 @@ Env build(committee::Params params, std::size_t n, std::uint64_t seed) {
       env.vrf, env.registry, env.params.sample_prob());
   env.signer = std::make_shared<crypto::Signer>(env.registry);
   env.batcher = std::make_shared<coin::BatchVerifier>(
-      coin::BatchVerifier::Config{env.vrf, env.sampler});
+      coin::BatchVerifier::Config{env.vrf, env.sampler, env.signer});
   return env;
 }
 }  // namespace
@@ -56,7 +56,7 @@ Env Env::make_relaxed_ddh(std::size_t n, std::uint64_t seed,
       env.vrf, env.registry, env.params.sample_prob());
   env.signer = std::make_shared<crypto::Signer>(env.registry);
   env.batcher = std::make_shared<coin::BatchVerifier>(
-      coin::BatchVerifier::Config{env.vrf, env.sampler});
+      coin::BatchVerifier::Config{env.vrf, env.sampler, env.signer});
   return env;
 }
 

@@ -387,6 +387,10 @@ RunReport run_agreement(const RunOptions& options,
     report.verify_shares = sim.metrics().verify_shares();
     report.verify_rejects = sim.metrics().verify_rejects();
     report.verify_memo_hits = sim.metrics().verify_memo_hits();
+    report.sig_verify_flushes = sim.metrics().sig_verify_flushes();
+    report.sig_verify_sigs = sim.metrics().sig_verify_sigs();
+    report.sig_verify_rejects = sim.metrics().sig_verify_rejects();
+    report.sig_verify_memo_hits = sim.metrics().sig_verify_memo_hits();
     report.corrupted = sim.corrupted_count();
     report.partition_held = sim.metrics().partition_held();
     report.partition_dropped = sim.metrics().partition_dropped();
@@ -415,6 +419,8 @@ RunReport run_agreement(const RunOptions& options,
     report.verify_enqueued = env.batcher->enqueued();
     report.verify_batch_flushed = env.batcher->flushed();
     report.verify_discarded = env.batcher->discarded();
+    report.sig_checks = env.batcher->sig_checks();
+    report.sig_memo_hits = env.batcher->sig_memo().hits();
   }
   return report;
 }

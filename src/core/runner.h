@@ -162,6 +162,17 @@ struct RunReport {
   std::uint64_t verify_shares = 0;
   std::uint64_t verify_rejects = 0;
   std::uint64_t verify_memo_hits = 0;
+  // Deferred signature-verification accounting (the approver's ok-proof
+  // sweep; zero with defer_verify off or for protocols without an
+  // approver). sig_checks counts every check routed through the shared
+  // BatchVerifier (flush batches + memoized echo singles); memo_hit_rate
+  // = sig_memo_hits / sig_checks is the cross-receiver dedup factor.
+  std::uint64_t sig_verify_flushes = 0;
+  std::uint64_t sig_verify_sigs = 0;
+  std::uint64_t sig_verify_rejects = 0;
+  std::uint64_t sig_verify_memo_hits = 0;
+  std::uint64_t sig_checks = 0;
+  std::uint64_t sig_memo_hits = 0;
   // BatchVerifier queue ledger, read after every coin has retired. The
   // conservation law verify_enqueued == verify_batch_flushed +
   // verify_discarded must hold for every run — crash-recovery must

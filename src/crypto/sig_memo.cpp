@@ -1,0 +1,66 @@
+#include "crypto/sig_memo.h"
+
+#include <algorithm>
+
+namespace coincidence::crypto {
+
+namespace {
+
+// FNV-1a with a length marker between fields, mirroring VerifyMemo: the
+// marker keeps (message="ab", sig="c") and (message="a", sig="bc") from
+// fingerprinting alike.
+std::uint64_t fnv1a(std::uint64_t h, BytesView data) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  h ^= data.size();
+  h *= kPrime;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t SigMemo::fingerprint(const SigBatchEntry& e) {
+  std::uint64_t fp = 1469598103934665603ULL;  // FNV offset basis
+  fp ^= e.signer;
+  fp *= 1099511628211ULL;
+  fp = fnv1a(fp, e.message);
+  fp = fnv1a(fp, e.sig);
+  return fp;
+}
+
+bool SigMemo::matches(const Entry& entry, const SigBatchEntry& e) {
+  return entry.signer == e.signer &&
+         entry.message.size() == e.message.size() &&
+         entry.sig.size() == e.sig.size() &&
+         std::equal(e.message.begin(), e.message.end(),
+                    entry.message.begin()) &&
+         std::equal(e.sig.begin(), e.sig.end(), entry.sig.begin());
+}
+
+std::optional<bool> SigMemo::lookup(const SigBatchEntry& e) const {
+  auto [lo, hi] = memo_.equal_range(fingerprint(e));
+  for (auto it = lo; it != hi; ++it)
+    if (matches(it->second, e)) {
+      ++hits_;
+      return it->second.ok;
+    }
+  ++misses_;
+  return std::nullopt;
+}
+
+void SigMemo::store(const SigBatchEntry& e, bool ok) {
+  const std::uint64_t fp = fingerprint(e);
+  auto [lo, hi] = memo_.equal_range(fp);
+  for (auto it = lo; it != hi; ++it)
+    if (matches(it->second, e)) {
+      it->second.ok = ok;  // unlikely re-store: overwrite
+      return;
+    }
+  memo_.emplace(fp, Entry{e.signer, Bytes(e.message.begin(), e.message.end()),
+                          Bytes(e.sig.begin(), e.sig.end()), ok});
+}
+
+}  // namespace coincidence::crypto

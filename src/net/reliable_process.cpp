@@ -57,6 +57,10 @@ class ReliableProcess::ChannelContext final : public sim::Context {
                          std::size_t memo_hits) override {
     outer().note_verify_batch(shares, rejects, memo_hits);
   }
+  void note_sig_verify_batch(std::size_t sigs, std::size_t rejects,
+                             std::size_t memo_hits) override {
+    outer().note_sig_verify_batch(sigs, rejects, memo_hits);
+  }
 
  private:
   sim::Context& outer() const {

@@ -220,6 +220,10 @@ void Metrics::to_json(std::ostream& os) const {
      << ",\"verify_shares\":" << verify_shares_
      << ",\"verify_rejects\":" << verify_rejects_
      << ",\"verify_memo_hits\":" << verify_memo_hits_
+     << ",\"sig_verify_flushes\":" << sig_verify_flushes_
+     << ",\"sig_verify_sigs\":" << sig_verify_sigs_
+     << ",\"sig_verify_rejects\":" << sig_verify_rejects_
+     << ",\"sig_verify_memo_hits\":" << sig_verify_memo_hits_
      << ",\"partition_held\":" << partition_held_
      << ",\"partition_held_words\":" << partition_held_words_
      << ",\"partition_dropped\":" << partition_dropped_
@@ -304,6 +308,15 @@ void Metrics::to_prometheus(std::ostream& os) const {
      << "coincidence_verify_rejects_total " << verify_rejects_ << '\n'
      << "# TYPE coincidence_verify_memo_hits_total counter\n"
      << "coincidence_verify_memo_hits_total " << verify_memo_hits_ << '\n'
+     << "# TYPE coincidence_sig_verify_flushes_total counter\n"
+     << "coincidence_sig_verify_flushes_total " << sig_verify_flushes_ << '\n'
+     << "# TYPE coincidence_sig_verify_sigs_total counter\n"
+     << "coincidence_sig_verify_sigs_total " << sig_verify_sigs_ << '\n'
+     << "# TYPE coincidence_sig_verify_rejects_total counter\n"
+     << "coincidence_sig_verify_rejects_total " << sig_verify_rejects_ << '\n'
+     << "# TYPE coincidence_sig_verify_memo_hits_total counter\n"
+     << "coincidence_sig_verify_memo_hits_total " << sig_verify_memo_hits_
+     << '\n'
      << "# TYPE coincidence_partition_held_total counter\n"
      << "coincidence_partition_held_total " << partition_held_ << '\n'
      << "# TYPE coincidence_partition_dropped_total counter\n"
@@ -351,6 +364,10 @@ void Metrics::reset() {
   verify_shares_ = 0;
   verify_rejects_ = 0;
   verify_memo_hits_ = 0;
+  sig_verify_flushes_ = 0;
+  sig_verify_sigs_ = 0;
+  sig_verify_rejects_ = 0;
+  sig_verify_memo_hits_ = 0;
   partition_held_ = 0;
   partition_held_words_ = 0;
   partition_dropped_ = 0;

@@ -122,6 +122,16 @@ class Metrics {
     verify_memo_hits_ += memo_hits;
   }
 
+  /// A deferred signature batch flushed (Context::note_sig_verify_batch;
+  /// the approver's ok-proof sweep). Same always-on contract.
+  void record_sig_verify_batch(std::size_t sigs, std::size_t rejects,
+                               std::size_t memo_hits) {
+    ++sig_verify_flushes_;
+    sig_verify_sigs_ += sigs;
+    sig_verify_rejects_ += rejects;
+    sig_verify_memo_hits_ += memo_hits;
+  }
+
   /// Switches on per-tag histogram recording (words/depth/latency).
   void enable_detail() { detail_ = true; }
   bool detail_enabled() const { return detail_; }
@@ -166,6 +176,11 @@ class Metrics {
   std::uint64_t verify_shares() const { return verify_shares_; }
   std::uint64_t verify_rejects() const { return verify_rejects_; }
   std::uint64_t verify_memo_hits() const { return verify_memo_hits_; }
+  // Deferred signature-verification accounting (approver ok proofs).
+  std::uint64_t sig_verify_flushes() const { return sig_verify_flushes_; }
+  std::uint64_t sig_verify_sigs() const { return sig_verify_sigs_; }
+  std::uint64_t sig_verify_rejects() const { return sig_verify_rejects_; }
+  std::uint64_t sig_verify_memo_hits() const { return sig_verify_memo_hits_; }
 
   /// Rounds-to-decide histogram over note_decide events from correct
   /// processes (one entry per decision point, sub-protocols included).
@@ -223,6 +238,10 @@ class Metrics {
   std::uint64_t verify_shares_ = 0;
   std::uint64_t verify_rejects_ = 0;
   std::uint64_t verify_memo_hits_ = 0;
+  std::uint64_t sig_verify_flushes_ = 0;
+  std::uint64_t sig_verify_sigs_ = 0;
+  std::uint64_t sig_verify_rejects_ = 0;
+  std::uint64_t sig_verify_memo_hits_ = 0;
   std::uint64_t partition_held_ = 0;
   std::uint64_t partition_held_words_ = 0;
   std::uint64_t partition_dropped_ = 0;

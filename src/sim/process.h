@@ -105,6 +105,16 @@ class Context {
     (void)rejects;
     (void)memo_hits;
   }
+
+  /// This process flushed a deferred signature batch (the approver's
+  /// ok-proof sweep) of `sigs` HMAC checks, of which `rejects` failed and
+  /// `memo_hits` were answered by the signature memo.
+  virtual void note_sig_verify_batch(std::size_t sigs, std::size_t rejects,
+                                     std::size_t memo_hits) {
+    (void)sigs;
+    (void)rejects;
+    (void)memo_hits;
+  }
 };
 
 class Process {

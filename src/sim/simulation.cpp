@@ -94,6 +94,11 @@ class Simulation::SlotContext final : public Context {
     sim_->note_verify_batch_from(id_, shares, rejects, memo_hits);
   }
 
+  void note_sig_verify_batch(std::size_t sigs, std::size_t rejects,
+                             std::size_t memo_hits) override {
+    sim_->note_sig_verify_batch_from(id_, sigs, rejects, memo_hits);
+  }
+
  private:
   Simulation* sim_;
   ProcessId id_;
@@ -440,6 +445,13 @@ void Simulation::note_verify_batch_from(ProcessId /*who*/, std::size_t shares,
                                         std::size_t rejects,
                                         std::size_t memo_hits) {
   metrics_.record_verify_batch(shares, rejects, memo_hits);
+}
+
+void Simulation::note_sig_verify_batch_from(ProcessId /*who*/,
+                                            std::size_t sigs,
+                                            std::size_t rejects,
+                                            std::size_t memo_hits) {
+  metrics_.record_sig_verify_batch(sigs, rejects, memo_hits);
 }
 
 // ----------------------------------------------------- timers/recovery --

@@ -171,6 +171,8 @@ class Simulation {
                              std::size_t words);
   void note_verify_batch_from(ProcessId who, std::size_t shares,
                               std::size_t rejects, std::size_t memo_hits);
+  void note_sig_verify_batch_from(ProcessId who, std::size_t sigs,
+                                  std::size_t rejects, std::size_t memo_hits);
 
   // Lossy-link layer (sim/link.h), applied between enqueue and the pool.
   void push_through_link(Message msg);

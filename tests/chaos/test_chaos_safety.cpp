@@ -181,6 +181,80 @@ TEST(ChaosSafety, BaWhpSampledChaosNeverDisagrees) {
   }
 }
 
+// Memoized/batched signature verification vs direct verification across
+// a chaos sweep: for every sampled (adversary x link x fault) cell the
+// deferred run's decision, rounds, words and messages must be
+// bit-identical to the inline run's. Chaos makes this a strong oracle —
+// drops, duplicates, replays and crash-recovery all reshuffle WHICH ok
+// messages each process sees, and any divergence in verdicts or flush
+// timing would desynchronize the seeded substrate immediately.
+TEST(ChaosSafety, BaWhpDeferredSigVerdictsMatchInlineAcrossChaosSweep) {
+  struct Sample {
+    AdversaryKind adv;
+    LinkPlan plan;
+    FaultCase fault;
+  };
+  LinkPlan storm;
+  storm.drop_p = 0.05;
+  storm.dup_p = 0.2;
+  storm.replay_p = 0.1;
+  const std::vector<Sample> samples = {
+      {AdversaryKind::kRandom, LinkPlan::lossless(), {"clean"}},
+      {AdversaryKind::kFifo, LinkPlan::duplicating(0.5, 2), {"clean"}},
+      {AdversaryKind::kSplit, LinkPlan::replaying(0.3), {"clean"}},
+      {AdversaryKind::kHeavyTail, storm, {"clean"}},
+      {AdversaryKind::kRandom, LinkPlan::lossy(0.10), {"junk", 0, 0, 1, 0}},
+      {AdversaryKind::kDelaySenders, LinkPlan::duplicating(0.3),
+       {"silent", 0, 1, 0, 0}},
+      {AdversaryKind::kRandom, LinkPlan::lossy(0.05),
+       {"crash-recover", 0, 0, 0, 1}},
+  };
+  std::vector<RunOptions> grid;
+  std::vector<std::string> labels;
+  int idx = 0;
+  for (const Sample& s : samples) {
+    RunOptions options;
+    options.protocol = Protocol::kBaWhp;
+    options.n = 32;
+    options.seed = 9100 + static_cast<std::uint64_t>(idx);
+    options.adversary = s.adv;
+    options.network = NetworkProfile::uniform(s.plan);
+    options.silent = s.fault.silent;
+    options.junk = s.fault.junk;
+    options.crash_recover = s.fault.crash_recover;
+    options.recover_after = 2000;
+    options.inputs.assign(options.n, idx % 2 ? ba::kOne : ba::kZero);
+    options.defer_verify = true;
+    grid.push_back(options);
+    options.defer_verify = false;
+    grid.push_back(options);
+    labels.push_back(case_label(Protocol::kBaWhp, s.adv, "equiv",
+                                s.fault.name, options.seed));
+    ++idx;
+  }
+  ThreadPool pool;
+  std::vector<RunReport> reports = run_agreements_parallel(pool, grid);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const RunReport& deferred = reports[2 * i];
+    const RunReport& direct = reports[2 * i + 1];
+    SCOPED_TRACE(labels[i]);
+    EXPECT_EQ(deferred.all_correct_decided, direct.all_correct_decided);
+    EXPECT_EQ(deferred.decision, direct.decision);
+    EXPECT_EQ(deferred.max_decided_round, direct.max_decided_round);
+    EXPECT_EQ(deferred.correct_words, direct.correct_words);
+    EXPECT_EQ(deferred.messages, direct.messages);
+    EXPECT_EQ(deferred.duration, direct.duration);
+    EXPECT_EQ(deferred.words_by_tag, direct.words_by_tag);
+    // The deferred run exercised the signature batch plane; the direct
+    // run never touched it.
+    EXPECT_GT(deferred.sig_verify_sigs, 0u);
+    EXPECT_EQ(direct.sig_verify_sigs, 0u);
+    // Conservation holds under chaos too.
+    EXPECT_EQ(deferred.verify_enqueued,
+              deferred.verify_batch_flushed + deferred.verify_discarded);
+  }
+}
+
 // Acceptance bar from the issue: ba-whp wrapped in the reliable channel
 // must still DECIDE (not merely stay safe) at 20% drop with duplication
 // enabled, with the repair overhead reported out of band.

@@ -129,6 +129,60 @@ TEST(VerifyRecovery, DeferredVerdictsMatchInlineUnderCrashRecovery) {
   }
 }
 
+// The ledger law extended to SIGNATURE entries: ba-whp's approver defers
+// its W-signature ok sweeps through the same shared BatchVerifier, so a
+// crash-recovery that destroys an approver's pending-ok queue settles
+// those oks as discarded — the conservation equality must keep holding
+// with approver traffic folded in, and the signature plane must actually
+// have run (flushes, HMAC checks and cross-receiver memo hits all > 0).
+TEST(VerifyRecovery, SignatureLedgerBalancesAcrossCrashRecovery) {
+  for (std::uint64_t seed : {3ULL, 11ULL}) {
+    RunOptions o = recovery_options(Protocol::kBaWhp, 32, seed);
+    RunReport r = run_agreement(o);
+    const std::string label = "ba-whp-sig/seed=" + std::to_string(seed);
+    expect_ledger_balanced(r, label);
+    EXPECT_TRUE(r.invariant_violations.empty()) << label;
+    EXPECT_TRUE(r.all_correct_decided) << label;
+    // The signature batch plane really ran...
+    EXPECT_GT(r.sig_verify_flushes, 0u) << label;
+    EXPECT_GT(r.sig_verify_sigs, 0u) << label;
+    // ...and the memo collapsed repeats: every ok embeds the SAME W
+    // signed echoes, and echo-phase checks share the memo, so hits
+    // dominate (each broadcast triple verifies ~once run-wide).
+    EXPECT_GT(r.sig_memo_hits * 2, r.sig_checks) << label;
+    // Honest-only run: deferral rejects nothing.
+    EXPECT_EQ(r.sig_verify_rejects, 0u) << label;
+  }
+}
+
+// Memoized vs direct signature verdicts stay bit-identical for ba-whp
+// even when crash-recovery replays the approver mid-protocol: decision,
+// rounds, words and messages match the inline-verification run exactly,
+// and only the deferred run touches the signature batch counters.
+TEST(VerifyRecovery, BaWhpDeferredSigVerdictsMatchInlineUnderRecovery) {
+  for (std::uint64_t seed : {5ULL, 8ULL}) {
+    RunOptions deferred = recovery_options(Protocol::kBaWhp, 32, seed);
+    RunOptions inline_verify = deferred;
+    inline_verify.defer_verify = false;
+
+    RunReport a = run_agreement(deferred);
+    RunReport b = run_agreement(inline_verify);
+    const std::string label = "ba-whp-verdicts/seed=" + std::to_string(seed);
+
+    EXPECT_EQ(a.all_correct_decided, b.all_correct_decided) << label;
+    EXPECT_EQ(a.decision, b.decision) << label;
+    EXPECT_EQ(a.max_decided_round, b.max_decided_round) << label;
+    EXPECT_EQ(a.correct_words, b.correct_words) << label;
+    EXPECT_EQ(a.messages, b.messages) << label;
+    EXPECT_EQ(a.words_by_tag, b.words_by_tag) << label;
+
+    EXPECT_GT(a.sig_verify_sigs, 0u) << label;
+    EXPECT_EQ(b.sig_verify_sigs, 0u) << label;
+    EXPECT_EQ(a.sig_verify_rejects, 0u) << label;
+    expect_ledger_balanced(a, label);
+  }
+}
+
 // Same-seed determinism of the ledger itself: two identical crash-recover
 // runs produce identical verify counters (the queue is on the delivery
 // clock, not wall clock).

@@ -273,6 +273,22 @@ int main(int argc, char** argv) {
             << r.verify_flushes << " flushes, " << r.verify_shares
             << " shares, " << r.verify_rejects << " rejects, "
             << r.verify_memo_hits << " memo hits)\n";
+  // Same deal for the approver's deferred W-signature sweeps: zero words
+  // (the ok messages were already charged), pure verification compute.
+  // memo hit-rate is the run-wide dedup factor — every ok embeds the
+  // SAME W signed echoes, so hits/checks ≈ 1 - 1/n in a clean run.
+  if (r.sig_verify_flushes + r.sig_checks > 0) {
+    std::cout << "  sig-verify" << std::string(widest > 10 ? widest - 10 + 2 : 2, ' ')
+              << 0 << "   (" << r.sig_verify_flushes << " batches, "
+              << r.sig_verify_sigs << " sigs, " << r.sig_verify_rejects
+              << " rejects";
+    if (r.sig_checks > 0)
+      std::cout << ", memo hit-rate "
+                << (100.0 * static_cast<double>(r.sig_memo_hits) /
+                    static_cast<double>(r.sig_checks))
+                << "%";
+    std::cout << ")\n";
+  }
   std::cout << "  total " << phase_total
             << (phase_total == r.correct_words
                     ? " == correct words (exact)"
