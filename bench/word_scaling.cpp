@@ -13,6 +13,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/args.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -26,42 +27,77 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   const int trials = static_cast<int>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
+  // E15 (ISSUE 8): `--max_n` extends the coin grid through {512, 1024,
+  // 2048, 4096}; runs there take 1 trial each (the committee machinery
+  // is deterministic enough that one flip pins the word count to a few
+  // percent) and should be paired with `--shards` so the superstep
+  // engine carries the n^2-delivery shared-coin rows.
+  const std::size_t max_n =
+      static_cast<std::size_t>(args.get_int("max_n", 384));
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 0));
+  const std::string json_path = args.get("bench_json", "");
   core::ThreadPool pool(
       static_cast<std::size_t>(args.get_int("threads", 0)));
 
+  bench::BenchJson json;
+  json.context("bench", "word_scaling");
+  json.context("trials", static_cast<double>(trials));
+  json.context("seed", static_cast<double>(seed));
+  json.context("max_n", static_cast<double>(max_n));
+  json.context("shards", static_cast<double>(shards));
+
   std::cout << "== E4: word-complexity scaling, ours vs O(n^2) (trials="
-            << trials << ", threads=" << pool.size() << ") ==\n\n";
+            << trials << ", threads=" << pool.size();
+  if (shards > 0) std::cout << ", shards=" << shards;
+  std::cout << ") ==\n\n";
 
   // --- part 1: the coins alone (Algorithm 1 vs Algorithm 2) -------------
   Table tc({"n", "shared-coin words", "whp-coin words", "ratio"});
   std::vector<double> cxs, shared_ys, whp_ys;
-  for (std::size_t n : {48, 96, 160, 256, 384}) {
-    // Even indices are shared-coin flips, odd are whp — one flat fan-out
-    // per n, folded in input order so tallies match the serial loop.
-    std::vector<core::CoinOptions> flips(2 * static_cast<std::size_t>(trials));
-    for (int trial = 0; trial < trials; ++trial) {
+  std::vector<std::size_t> coin_ns = {48, 96, 160, 256, 384};
+  for (std::size_t n : {512, 1024, 2048, 4096})
+    if (n <= max_n) coin_ns.push_back(n);
+  for (std::size_t n : coin_ns) {
+    const int tn = n >= 512 ? 1 : trials;
+    // The whp coin fails (by design) a few percent of the time; at the
+    // single-trial large-n rows a failed flip would drop the row, so run
+    // a few speculative retry seeds and consume the first tn successes.
+    // The default grid keeps exactly the historical trial set.
+    const int whp_attempts = tn + (n >= 512 ? 4 : 0);
+    // Indices [0, tn) are shared-coin flips, [tn, tn + whp_attempts) are
+    // whp — one flat fan-out per n, folded in input order so tallies
+    // match the serial loop.
+    std::vector<core::CoinOptions> flips(
+        static_cast<std::size_t>(tn + whp_attempts));
+    for (int trial = 0; trial < whp_attempts; ++trial) {
       core::CoinOptions o;
       o.n = n;
       o.seed = seed + 31 * trial + n;
       o.round = static_cast<std::uint64_t>(trial);
-      o.kind = core::CoinKind::kShared;
-      flips[2 * static_cast<std::size_t>(trial)] = o;
+      o.shards = shards;
+      if (trial < tn) {
+        o.kind = core::CoinKind::kShared;
+        flips[static_cast<std::size_t>(trial)] = o;
+      }
       o.kind = core::CoinKind::kWhp;
-      flips[2 * static_cast<std::size_t>(trial) + 1] = o;
+      flips[static_cast<std::size_t>(tn + trial)] = o;
     }
     std::vector<core::CoinReport> reports = core::parallel_map(
         pool, flips.size(),
         [&](std::size_t i) { return core::run_coin_trial(flips[i]); });
     double shared_words = 0, whp_words = 0;
     int shared_c = 0, whp_c = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      const core::CoinReport& rs = reports[2 * static_cast<std::size_t>(trial)];
+    for (int trial = 0; trial < tn; ++trial) {
+      const core::CoinReport& rs = reports[static_cast<std::size_t>(trial)];
       if (rs.all_returned) {
         shared_words += static_cast<double>(rs.correct_words);
         ++shared_c;
       }
+    }
+    for (int trial = 0; trial < whp_attempts && whp_c < tn; ++trial) {
       const core::CoinReport& rw =
-          reports[2 * static_cast<std::size_t>(trial) + 1];
+          reports[static_cast<std::size_t>(tn + trial)];
       if (rw.all_returned) {
         whp_words += static_cast<double>(rw.correct_words);
         ++whp_c;
@@ -73,15 +109,24 @@ int main(int argc, char** argv) {
     cxs.push_back(static_cast<double>(n));
     shared_ys.push_back(shared_words);
     whp_ys.push_back(whp_words);
+    bench::BenchJson::Row& row = json.row("coin/n" + std::to_string(n));
+    bench::BenchJson::field(row, "n", static_cast<double>(n));
+    bench::BenchJson::field(row, "shared_words", shared_words);
+    bench::BenchJson::field(row, "whp_words", whp_words);
+    bench::BenchJson::field(row, "trials", static_cast<double>(tn));
     tc.add_row({std::to_string(n),
                 Table::count(static_cast<unsigned long long>(shared_words)),
                 Table::count(static_cast<unsigned long long>(whp_words)),
                 Table::num(shared_words / whp_words, 2)});
   }
   tc.print(std::cout);
+  const double shared_slope = loglog_slope(cxs, shared_ys);
+  const double whp_slope = loglog_slope(cxs, whp_ys);
+  json.context("shared_slope", shared_slope);
+  json.context("whp_slope", whp_slope);
   std::cout << "coin word-growth exponents: shared="
-            << Table::num(loglog_slope(cxs, shared_ys), 2)
-            << " (theory 2), whp=" << Table::num(loglog_slope(cxs, whp_ys), 2)
+            << Table::num(shared_slope, 2)
+            << " (theory 2), whp=" << Table::num(whp_slope, 2)
             << " (theory ~1 + log factor)\n\n";
 
   // --- part 2: full BA, ours vs MMR+Algorithm-1 -------------------------
@@ -106,6 +151,7 @@ int main(int argc, char** argv) {
       core::RunOptions o;
       o.n = n;
       o.seed = seed + 7 * trial + n;
+      o.shards = shards;
       o.inputs.assign(n, ba::kZero);
       for (std::size_t i = 0; i < n / 2; ++i) o.inputs[i] = ba::kOne;
       o.protocol = core::Protocol::kBaWhp;
@@ -182,6 +228,14 @@ int main(int argc, char** argv) {
                 << " — the paper's win is asymptotic; at simulable n the "
                    "lambda^2 ok-proof constant dominates.\n";
     }
+  }
+
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json_path << "\n";
   }
   return 0;
 }

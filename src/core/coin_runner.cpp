@@ -52,7 +52,14 @@ CoinReport run_coin_trial(const CoinOptions& options) {
         cfg.params = env.params;
         cfg.vrf = env.vrf;
         cfg.registry = env.registry;
-        cfg.sampler = env.sampler;
+        // Sharded handlers run concurrently: the shared sampler's cache
+        // would race, so every process gets a private one (same vrf and
+        // registry — verdicts, and thus words/outputs, are identical).
+        cfg.sampler = options.shards == 0
+                          ? env.sampler
+                          : std::make_shared<committee::CachingSampler>(
+                                env.vrf, env.registry,
+                                env.params.sample_prob());
         return std::make_unique<coin::WhpCoin>(cfg);
       }
       case CoinKind::kDealer: {
@@ -72,6 +79,12 @@ CoinReport run_coin_trial(const CoinOptions& options) {
   scfg.seed = options.seed;
   scfg.fairness_bound = options.fairness_bound;
   scfg.allow_content_visibility = options.content_aware_bias;
+  COIN_REQUIRE(options.shards == 0 ||
+                   (options.delay_senders == 0 && !options.content_aware_bias),
+               "run_coin_trial: scheduling adversaries need the legacy loop");
+  scfg.shards = options.shards;
+  scfg.threads = options.threads;
+  if (options.shards > 0) scfg.expected_in_flight = options.n * 16;
   sim::Simulation sim(scfg);
   for (sim::ProcessId i = 0; i < options.n; ++i)
     sim.add_process(std::make_unique<coin::CoinHost>(make_coin(i)));

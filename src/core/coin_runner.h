@@ -45,6 +45,14 @@ struct CoinOptions {
   /// being forced through (0 = simulator default 16n). The ablation bench
   /// widens this — asynchrony allows unbounded-but-finite delays.
   std::uint64_t fairness_bound = 0;
+
+  /// Sharded superstep engine (SimConfig::shards): 0 = legacy loop.
+  /// Incompatible with the scheduling adversaries (delay_senders /
+  /// content_aware_bias), whose per-delivery choices the hash-addressed
+  /// schedule replaces. Each process gets a private sampler cache.
+  std::size_t shards = 0;
+  /// Worker threads for the sharded engine (0 = min(shards, hardware)).
+  std::size_t threads = 0;
 };
 
 struct CoinReport {

@@ -189,8 +189,30 @@ RunReport run_agreement(const RunOptions& options,
         options.n, f, options.max_rounds, options.seed + 17);
   }
 
+  // Sharded runs execute handlers concurrently, so the Env-shared
+  // mutable crypto state — the sampler's cache and the BatchVerifier's
+  // queues/memos — becomes one private lane per process. Verdicts are
+  // pure functions of the inputs, so decisions/sends/words are identical
+  // to the shared-lane wiring; only cross-process memo-hit counters (and
+  // wall-clock) differ. Lane batchers outlive the Simulation: their
+  // ledgers are aggregated after teardown, like env.batcher's.
+  const bool sharded = options.shards > 0;
+  std::vector<std::shared_ptr<coin::BatchVerifier>> lane_batchers(
+      sharded ? options.n : 0);
+  auto crypto_lane = [&](sim::ProcessId id)
+      -> std::pair<std::shared_ptr<committee::Sampler>,
+                   std::shared_ptr<coin::BatchVerifier>> {
+    if (!sharded) return {env.sampler, env.batcher};
+    auto sampler = std::make_shared<committee::CachingSampler>(
+        env.vrf, env.registry, env.params.sample_prob());
+    auto batcher = std::make_shared<coin::BatchVerifier>(
+        coin::BatchVerifier::Config{env.vrf, sampler, env.signer});
+    lane_batchers[id] = batcher;
+    return {sampler, batcher};
+  };
+
   auto make_process =
-      [&](sim::ProcessId /*id*/,
+      [&](sim::ProcessId id,
           ba::Value input) -> std::unique_ptr<ba::BaProcess> {
     switch (options.protocol) {
       case Protocol::kBenOr: {
@@ -213,7 +235,7 @@ RunReport run_agreement(const RunOptions& options,
         cfg.n = options.n;
         cfg.f = f;
         cfg.max_rounds = options.max_rounds;
-        cfg.make_coin = [env, n = options.n, f,
+        cfg.make_coin = [env, lane = crypto_lane(id), n = options.n, f,
                          defer = options.defer_verify](
                             std::uint64_t round, const std::string& tag) {
           coin::SharedCoin::Config ccfg;
@@ -223,7 +245,7 @@ RunReport run_agreement(const RunOptions& options,
           ccfg.f = f;
           ccfg.vrf = env.vrf;
           ccfg.registry = env.registry;
-          if (defer) ccfg.batcher = env.batcher;
+          if (defer) ccfg.batcher = lane.second;
           return std::make_unique<coin::SharedCoin>(ccfg);
         };
         return std::make_unique<ba::Mmr>(cfg, input);
@@ -234,7 +256,8 @@ RunReport run_agreement(const RunOptions& options,
         cfg.n = options.n;
         cfg.f = f;
         cfg.max_rounds = options.max_rounds;
-        cfg.make_coin = [env, defer = options.defer_verify](
+        cfg.make_coin = [env, lane = crypto_lane(id),
+                         defer = options.defer_verify](
                             std::uint64_t round, const std::string& tag) {
           coin::WhpCoin::Config ccfg;
           ccfg.tag = tag;
@@ -242,8 +265,8 @@ RunReport run_agreement(const RunOptions& options,
           ccfg.params = env.params;
           ccfg.vrf = env.vrf;
           ccfg.registry = env.registry;
-          ccfg.sampler = env.sampler;
-          if (defer) ccfg.batcher = env.batcher;
+          ccfg.sampler = lane.first;
+          if (defer) ccfg.batcher = lane.second;
           return std::make_unique<coin::WhpCoin>(ccfg);
         };
         return std::make_unique<ba::Mmr>(cfg, input);
@@ -265,14 +288,15 @@ RunReport run_agreement(const RunOptions& options,
         return std::make_unique<ba::Mmr>(cfg, input);
       }
       case Protocol::kBaWhp: {
+        auto lane = crypto_lane(id);
         ba::BaWhp::Config cfg;
         cfg.tag = "ba";
         cfg.params = env.params;
         cfg.vrf = env.vrf;
         cfg.registry = env.registry;
-        cfg.sampler = env.sampler;
+        cfg.sampler = lane.first;
         cfg.signer = env.signer;
-        if (options.defer_verify) cfg.batcher = env.batcher;
+        if (options.defer_verify) cfg.batcher = lane.second;
         cfg.max_rounds = options.max_rounds;
         return std::make_unique<ba::BaWhp>(cfg, input);
       }
@@ -298,6 +322,11 @@ RunReport run_agreement(const RunOptions& options,
   scfg.seed = options.seed;
   scfg.network = options.network;
   scfg.chaos = options.chaos;
+  scfg.shards = options.shards;
+  scfg.threads = options.threads;
+  // Broadcast-heavy rounds keep O(n) messages per process in flight
+  // inside the W-superstep window; presize the calendars for that.
+  if (sharded) scfg.expected_in_flight = options.n * 16;
 
   RunReport report;
   report.faulty = faulty;
@@ -400,6 +429,14 @@ RunReport run_agreement(const RunOptions& options,
     for (sim::ProcessId i = 0; i < options.n; ++i)
       report.duration = std::max(report.duration, sim.depth_of(i));
 
+    if (sim.sharded()) {
+      report.shards = sim.shard_count();
+      report.supersteps = sim.supersteps();
+      report.merge_stalls = sim.merge_stalls();
+      for (const sim::ShardStats& s : sim.shard_stats())
+        report.shard_deliveries.push_back(s.deliveries);
+    }
+
     if (checker) {
       checker->finalize(sim.metrics().correct_words(), sim.chaos_held(),
                         sim.corrupted_count());
@@ -415,7 +452,16 @@ RunReport run_agreement(const RunOptions& options,
     if (instruments.metrics_out) instruments.metrics_out(sim.metrics());
   }
 
-  if (env.batcher) {
+  if (sharded) {
+    for (const auto& b : lane_batchers) {
+      if (!b) continue;
+      report.verify_enqueued += b->enqueued();
+      report.verify_batch_flushed += b->flushed();
+      report.verify_discarded += b->discarded();
+      report.sig_checks += b->sig_checks();
+      report.sig_memo_hits += b->sig_memo().hits();
+    }
+  } else if (env.batcher) {
     report.verify_enqueued = env.batcher->enqueued();
     report.verify_batch_flushed = env.batcher->flushed();
     report.verify_discarded = env.batcher->discarded();

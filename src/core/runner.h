@@ -109,6 +109,17 @@ struct RunOptions {
 
   std::uint64_t max_rounds = 64;
 
+  /// Sharded superstep engine (SimConfig::shards): 0 = the legacy
+  /// sequential loop; k >= 1 partitions delivery across k shards with a
+  /// hash-addressed schedule that is bit-identical for every shard and
+  /// thread count (DESIGN.md §5g). Scheduling adversaries (`adversary`)
+  /// are bypassed in sharded mode; corruption adversaries still act.
+  /// Each process also gets a private sampler cache + BatchVerifier lane
+  /// (instead of the Env-shared ones), since handlers run concurrently.
+  std::size_t shards = 0;
+  /// Worker threads for the sharded engine (0 = min(shards, hardware)).
+  std::size_t threads = 0;
+
   /// Chaos schedule (sim/chaos.h) executed by the simulation on the
   /// delivery clock: healing partitions, churn waves, storm bursts.
   /// Churn-wave victims need corruption budget, so the runner widens the
@@ -191,6 +202,16 @@ struct RunReport {
   /// InvariantChecker::describe lines (empty = run passed all checks, or
   /// check_invariants was off).
   std::vector<std::string> invariant_violations;
+
+  // Sharded-engine telemetry (zero/empty on the legacy path). Lives here
+  // — not in Metrics — so metrics exports stay byte-identical across
+  // shard counts; run_report renders it in the human-readable section.
+  std::size_t shards = 0;
+  std::uint64_t supersteps = 0;
+  /// Idle shard-supersteps at the exchange barrier (load imbalance).
+  std::uint64_t merge_stalls = 0;
+  /// Deliveries committed per shard, in shard order.
+  std::vector<std::uint64_t> shard_deliveries;
 };
 
 /// Instrumentation to attach to a run without changing its behaviour:

@@ -83,6 +83,21 @@ class FlatMap64 {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Pre-sizes the table for `n` live keys (the SimConfig capacity-hint
+  /// path) so churn-heavy large-n runs never rehash mid-flight. Keeps
+  /// the <=50% load invariant: the slot array becomes the smallest
+  /// power of two holding 2*(n+1) slots. No-op when already that large;
+  /// existing entries (and no tombstones) carry over.
+  void reserve(std::size_t n) {
+    std::size_t target = 16;
+    while (target < 2 * (n + 1)) target <<= 1;
+    if (target <= slots_.size()) return;
+    rehash_to(target);
+  }
+
+  /// Whitebox capacity view for the growth/compaction regression tests.
+  std::size_t slot_count() const { return slots_.size(); }
+
   void clear() {
     slots_.clear();
     size_ = 0;
@@ -127,6 +142,12 @@ class FlatMap64 {
     if ((size_ + tombstones_ + 1) * 2 <= slots_.size()) return;
     std::size_t new_cap = slots_.size();
     if ((size_ + 1) * 2 > slots_.size()) new_cap *= 2;
+    rehash_to(new_cap);
+  }
+
+  /// Rebuilds into `new_cap` slots (a power of two >= 2*(size_+1)),
+  /// dropping every tombstone.
+  void rehash_to(std::size_t new_cap) {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_cap, Slot{});
     size_ = 0;

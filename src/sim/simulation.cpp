@@ -11,7 +11,66 @@ namespace {
 std::uint64_t link_key(ProcessId from, ProcessId to) {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
+
+/// splitmix64 finalizer: the sharded engine's hash-addressed randomness.
+/// Every scheduling decision is mix64(seed ^ counter) of a counter that
+/// advances in canonical (serial-commit) order, never a stream whose
+/// draw order could depend on shard or thread count.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 }  // namespace
+
+// ------------------------------------------------- sharded engine data --
+
+/// One side-effect a handler produced during the parallel phase. Replayed
+/// by the serial commit in the exact order the handler issued it, so the
+/// observable event stream is identical to an inline execution.
+struct Simulation::PendingEffect {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kWakeup,
+    kDecide,
+    kRound,
+    kDeadLetter,
+    kVerifyBatch,
+    kSigVerifyBatch,
+  };
+  Kind kind = Kind::kSend;
+  bool retransmit = false;
+  bool self = false;    // send to self: already delivered nested in-phase
+  bool correct = true;  // sender/reporter was uncorrupted at call time
+  ProcessId to = 0;
+  Tag tag;
+  SharedBytes payload;
+  // kSend: a=words b=causal_depth; kWakeup: a=delay; kDecide: a=round
+  // b=value c=depth; kRound: a=round; kDeadLetter: a=words; k*Verify:
+  // a=count b=rejects c=memo_hits.
+  std::uint64_t a = 0, b = 0, c = 0;
+};
+
+/// One routed in-flight message in a shard calendar. (okey, route_seq) is
+/// the canonical within-superstep rank — a pure function of (seed, route
+/// order), so the merged delivery order is shard/thread-count invariant.
+struct Simulation::CalEntry {
+  std::uint64_t okey = 0;
+  std::uint64_t route_seq = 0;
+  std::uint64_t enqueue_index = 0;  // deliveries_ at routing (age basis)
+  std::uint64_t delivery_pre = 0;   // deliveries_ just before this commit
+  bool handler_ran = false;
+  Message msg;
+  std::vector<PendingEffect> effects;
+};
+
+/// Per-shard runtime: the calendar ring (slot s holds entries due at
+/// supersteps congruent to s mod W) and the current superstep's work.
+struct Simulation::ShardState {
+  std::vector<std::vector<CalEntry>> ring;
+  std::vector<CalEntry> acts;
+};
 
 // ---------------------------------------------------------------- Slot --
 
@@ -26,6 +85,10 @@ struct Simulation::Slot {
   std::uint64_t depth = 0;    // causal depth observed so far
   std::deque<Message> self_queue;
   Bytes stable_storage;       // survives kCrashRecover (Context::persist)
+  // Sharded handler phase: the activation this slot is currently
+  // executing (its effect sink). Only ever touched by the slot's home
+  // shard, so no synchronization is needed.
+  CalEntry* active_entry = nullptr;
 
   /// Crash semantics apply: a kCrash process forever, a kCrashRecover
   /// process until its restart flips the mode back to kCorrect.
@@ -42,20 +105,41 @@ class Simulation::SlotContext final : public Context {
   ProcessId self() const override { return id_; }
   std::size_t n() const override { return sim_->cfg_.n; }
 
+  // During the sharded engine's parallel handler phase every side-effect
+  // is buffered on the running activation (and replayed by the serial
+  // commit in canonical order); outside it — the legacy loop and all
+  // serial callbacks (on_start/on_wakeup/on_recover/barriers) — the
+  // effects go straight through, exactly as before.
+
   void send(ProcessId to, Tag tag, SharedBytes payload,
             std::size_t words) override {
+    if (sim_->parallel_phase_) {
+      sim_->buffer_send(id_, to, tag, std::move(payload), words,
+                        /*retransmit=*/false);
+      return;
+    }
     sim_->enqueue_send(id_, to, tag, std::move(payload), words);
   }
 
   void broadcast(Tag tag, SharedBytes payload, std::size_t words) override {
     // Each enqueued copy shares `payload`'s buffer: n refcount bumps,
     // zero deep copies.
+    if (sim_->parallel_phase_) {
+      for (ProcessId to = 0; to < sim_->cfg_.n; ++to)
+        sim_->buffer_send(id_, to, tag, payload, words, /*retransmit=*/false);
+      return;
+    }
     for (ProcessId to = 0; to < sim_->cfg_.n; ++to)
       sim_->enqueue_send(id_, to, tag, payload, words);
   }
 
   void send_retransmission(ProcessId to, Tag tag, SharedBytes payload,
                            std::size_t words) override {
+    if (sim_->parallel_phase_) {
+      sim_->buffer_send(id_, to, tag, std::move(payload), words,
+                        /*retransmit=*/true);
+      return;
+    }
     sim_->enqueue_send(id_, to, tag, std::move(payload), words,
                        /*retransmit=*/true);
   }
@@ -66,9 +150,22 @@ class Simulation::SlotContext final : public Context {
     return sim_->slots_[id_]->depth;
   }
 
-  std::uint64_t now() const override { return sim_->deliveries_; }
+  std::uint64_t now() const override {
+    if (sim_->parallel_phase_) {
+      // The legacy loop increments deliveries_ before dispatching, so a
+      // handler sees "my delivery's index + 1"; delivery_pre is exactly
+      // that index under the canonical merge order.
+      const CalEntry* act = sim_->slots_[id_]->active_entry;
+      if (act != nullptr) return act->delivery_pre + 1;
+    }
+    return sim_->deliveries_;
+  }
 
   void schedule_wakeup(std::uint64_t delay) override {
+    if (sim_->parallel_phase_) {
+      buffered_effect(PendingEffect::Kind::kWakeup).a = delay;
+      return;
+    }
     sim_->schedule_wakeup_for(id_, delay);
   }
 
@@ -78,28 +175,73 @@ class Simulation::SlotContext final : public Context {
   }
 
   void note_decide(Tag scope, int value, std::uint64_t round) override {
+    if (sim_->parallel_phase_) {
+      PendingEffect& e = buffered_effect(PendingEffect::Kind::kDecide);
+      e.tag = scope;
+      e.a = round;
+      e.b = static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+      e.c = sim_->slots_[id_]->depth;  // depth at the call, not at commit
+      return;
+    }
     sim_->note_decide_from(id_, scope, value, round);
   }
 
   void note_round(std::uint64_t round) override {
+    if (sim_->parallel_phase_) {
+      buffered_effect(PendingEffect::Kind::kRound).a = round;
+      return;
+    }
     sim_->note_round_from(id_, round);
   }
 
   void note_dead_letter(ProcessId to, Tag tag, std::size_t words) override {
+    if (sim_->parallel_phase_) {
+      PendingEffect& e = buffered_effect(PendingEffect::Kind::kDeadLetter);
+      e.to = to;
+      e.tag = tag;
+      e.a = words;
+      return;
+    }
     sim_->note_dead_letter_from(id_, to, tag, words);
   }
 
   void note_verify_batch(std::size_t shares, std::size_t rejects,
                          std::size_t memo_hits) override {
+    if (sim_->parallel_phase_) {
+      PendingEffect& e = buffered_effect(PendingEffect::Kind::kVerifyBatch);
+      e.a = shares;
+      e.b = rejects;
+      e.c = memo_hits;
+      return;
+    }
     sim_->note_verify_batch_from(id_, shares, rejects, memo_hits);
   }
 
   void note_sig_verify_batch(std::size_t sigs, std::size_t rejects,
                              std::size_t memo_hits) override {
+    if (sim_->parallel_phase_) {
+      PendingEffect& e = buffered_effect(PendingEffect::Kind::kSigVerifyBatch);
+      e.a = sigs;
+      e.b = rejects;
+      e.c = memo_hits;
+      return;
+    }
     sim_->note_sig_verify_batch_from(id_, sigs, rejects, memo_hits);
   }
 
  private:
+  /// Appends a blank effect of `kind` to the slot's running activation,
+  /// pre-stamping the reporter's correctness. Parallel phase only; the
+  /// slot's home shard owns both the slot and the activation.
+  PendingEffect& buffered_effect(PendingEffect::Kind kind) {
+    Slot& slot = *sim_->slots_[id_];
+    PendingEffect e;
+    e.kind = kind;
+    e.correct = !slot.corrupted;
+    slot.active_entry->effects.push_back(std::move(e));
+    return slot.active_entry->effects.back();
+  }
+
   Simulation* sim_;
   ProcessId id_;
 };
@@ -123,6 +265,33 @@ Simulation::Simulation(SimConfig cfg)
   if (!cfg_.chaos.empty()) {
     chaos_ = std::make_unique<ChaosState>(cfg_.chaos);
     churn_victims_.resize(cfg_.chaos.phases.size());
+  }
+  if (cfg_.shards > 0) {
+    // More shards than processes would leave permanently-empty shards;
+    // the clamp keeps shard_of() total without changing any schedule
+    // (the schedule depends on (seed, route order), not the shard map).
+    cfg_.shards = std::min(cfg_.shards, cfg_.n);
+    if (cfg_.shard_slack == 0) cfg_.shard_slack = 1;
+    shard_seed_ = mix64(cfg_.seed ^ 0x73686172645f7373ULL);  // "shard_ss"
+    shard_states_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      auto st = std::make_unique<ShardState>();
+      st->ring.resize(cfg_.shard_slack);
+      shard_states_.push_back(std::move(st));
+    }
+    slot_counts_.assign(cfg_.shard_slack, 0);
+    shard_stats_.assign(cfg_.shards, ShardStats{});
+    if (cfg_.expected_in_flight > 0) {
+      const std::size_t per_slot =
+          cfg_.expected_in_flight / (cfg_.shards * cfg_.shard_slack) + 1;
+      for (auto& st : shard_states_)
+        for (auto& slot : st->ring) slot.reserve(per_slot);
+    }
+    std::size_t threads = cfg_.threads;
+    if (threads == 0) threads = std::min(cfg_.shards, default_thread_count());
+    shard_pool_ = std::make_unique<ThreadPool>(threads);
+  } else if (cfg_.expected_in_flight > 0) {
+    pending_.reserve(cfg_.expected_in_flight);
   }
 }
 
@@ -291,7 +460,7 @@ void Simulation::push_through_link(Message msg) {
           Message dup = msg;
           dup.id = next_msg_id_++;
           metrics_.record_storm_copy();
-          pending_.push(std::move(dup), deliveries_);
+          route_message(std::move(dup));
         }
       }
     }
@@ -300,12 +469,12 @@ void Simulation::push_through_link(Message msg) {
   // Fully-reliable networks (the common case) skip the per-link plan
   // lookup entirely — one cached bool instead of a hash probe per send.
   if (network_reliable_) {
-    pending_.push(std::move(msg), deliveries_);
+    route_message(std::move(msg));
     return;
   }
   const LinkPlan& plan = cfg_.network.link(msg.from, msg.to);
   if (plan.reliable()) {
-    pending_.push(std::move(msg), deliveries_);
+    route_message(std::move(msg));
     return;
   }
 
@@ -325,9 +494,9 @@ void Simulation::push_through_link(Message msg) {
       dup.id = next_msg_id_++;
       metrics_.record_link_duplicate();
       for (auto& obs : observers_) obs->on_link_duplicate(dup);
-      pending_.push(std::move(dup), deliveries_);
+      route_message(std::move(dup));
     }
-    pending_.push(std::move(msg), deliveries_);
+    route_message(std::move(msg));
   }
 
   // Replay is keyed to send *activity* on the link, not to this packet's
@@ -343,7 +512,7 @@ void Simulation::push_through_link(Message msg) {
       replay.id = next_msg_id_++;
       metrics_.record_link_replay();
       for (auto& obs : observers_) obs->on_link_replay(replay);
-      pending_.push(std::move(replay), deliveries_);
+      route_message(std::move(replay));
     }
   }
 }
@@ -383,7 +552,7 @@ void Simulation::inject(ProcessId from, ProcessId to, Tag tag,
   if (to == from) {
     slots_[from]->self_queue.push_back(std::move(msg));
   } else {
-    pending_.push(std::move(msg), deliveries_);
+    route_message(std::move(msg));
   }
 }
 
@@ -577,7 +746,7 @@ void Simulation::release_partition(std::size_t phase_idx) {
       // Healed: the message re-enters the pool now, with a fresh enqueue
       // tick — its fairness clock starts at the heal, not at the
       // original send (the partition, not the adversary, delayed it).
-      pending_.push(std::move(entry.second), deliveries_);
+      route_message(std::move(entry.second));
       ++released;
     } else {
       kept.push_back(std::move(entry));
@@ -611,6 +780,7 @@ void Simulation::start() {
 
 bool Simulation::step() {
   COIN_REQUIRE(started_, "step before start");
+  if (sharded()) return superstep();
   fire_due_timers();
   run_chaos_due();
 
@@ -678,6 +848,322 @@ bool Simulation::step() {
   remember_delivered(msg);
   for (auto& obs : observers_) obs->on_deliver(msg);
   adversary_->observe_delivery(msg);
+  return true;
+}
+
+// ------------------------------------------- sharded superstep engine --
+//
+// The sharded engine replaces the per-delivery adversary choice with a
+// hash-addressed random-delay schedule: at routing time (always serial —
+// either the legacy-equivalent serial callbacks or the serial commit)
+// each message draws h = mix64(shard_seed ^ route_seq) and is placed at
+// superstep `now + 1 + h % W` with within-superstep rank mix64(h). Both
+// are pure functions of (seed, canonical route order), so the merged
+// global delivery order is bit-identical for every shard count and
+// thread count. A superstep then runs in four phases:
+//   1. barrier work (timers, chaos, corruption requests) — serial;
+//   2. exchange: pull the due calendar slot per shard, sort by rank —
+//      parallel, pure;
+//   3. handlers: each shard executes its activations in rank order,
+//      buffering every side-effect — parallel, shard-local state only;
+//   4. commit: replay activations in the globally merged rank order,
+//      emitting deliveries/sends/notes exactly as an inline loop would —
+//      serial.
+// Fairness is structural here (nothing waits more than W supersteps), so
+// the fairness-bound scan and Adversary::schedule are bypassed.
+
+void Simulation::route_message(Message msg) {
+  if (!sharded()) {
+    pending_.push(std::move(msg), deliveries_);
+    return;
+  }
+  const std::uint64_t h = mix64(shard_seed_ ^ route_seq_);
+  const std::size_t shard = shard_of(msg.to);
+  CalEntry e;
+  e.okey = mix64(h);
+  e.route_seq = route_seq_++;
+  e.enqueue_index = deliveries_;
+  e.msg = std::move(msg);
+  const auto slot =
+      static_cast<std::size_t>((superstep_ + 1 + h % cfg_.shard_slack) %
+                               cfg_.shard_slack);
+  shard_states_[shard]->ring[slot].push_back(std::move(e));
+  ++slot_counts_[slot];
+  ++calendar_size_;
+}
+
+void Simulation::buffer_send(ProcessId from, ProcessId to, Tag tag,
+                             SharedBytes payload, std::size_t words,
+                             bool retransmit) {
+  COIN_REQUIRE(to < cfg_.n, "send: bad destination");
+  Slot& sender = *slots_[from];
+
+  // The sender's fault behaviour applies at call time (the parallel
+  // phase), mirroring enqueue_send: only the sender's own slot state and
+  // rng are touched, and both are home-shard-exclusive.
+  if (sender.corrupted) {
+    switch (sender.fault.mode) {
+      case FaultPlan::Mode::kCrash:
+      case FaultPlan::Mode::kCrashRecover:
+      case FaultPlan::Mode::kSilent:
+        return;  // nothing leaves a crashed/silent process
+      case FaultPlan::Mode::kSelective: {
+        const auto& t = sender.fault.selective_targets;
+        if (std::find(t.begin(), t.end(), to) == t.end()) return;
+        break;
+      }
+      case FaultPlan::Mode::kJunk:
+        payload = SharedBytes(sender.rng.next_bytes(payload.size()));
+        break;
+      case FaultPlan::Mode::kCorrect:
+        break;
+    }
+  }
+
+  PendingEffect e;
+  e.kind = PendingEffect::Kind::kSend;
+  e.retransmit = retransmit;
+  e.self = (to == from);
+  e.correct = !sender.corrupted;
+  e.to = to;
+  e.tag = tag;
+  e.payload = payload;  // commit emits the send event from this handle
+  e.a = words;
+  e.b = sender.depth + 1;
+  sender.active_entry->effects.push_back(std::move(e));
+
+  if (to == from) {
+    // Self-sends are free local deliveries in the legacy loop (straight
+    // onto the self queue, no pool transit): deliver them nested inside
+    // this same handler phase. id/send_seq are stamped 0 here — the
+    // canonical values exist only at commit — which is safe because no
+    // protocol reads them; the commit-time send event carries real ones.
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.tag = tag;
+    msg.payload = std::move(payload);
+    msg.words = words;
+    msg.causal_depth = sender.depth + 1;
+    msg.retransmit = retransmit;
+    sender.self_queue.push_back(std::move(msg));
+  }
+}
+
+void Simulation::deliver_in_phase(Slot& slot, const Message& msg) {
+  slot.depth = std::max(slot.depth, msg.causal_depth);
+  slot.process->on_message(*slot.context, msg);
+}
+
+void Simulation::run_shard_handlers(std::size_t shard) {
+  ShardState& st = *shard_states_[shard];
+  ShardStats& stats = shard_stats_[shard];
+  for (CalEntry& act : st.acts) {
+    Slot& receiver = *slots_[act.msg.to];
+    receiver.active_entry = &act;
+    if (!(receiver.corrupted && receiver.crash_like())) {
+      act.handler_ran = true;
+      ++stats.handler_calls;
+      deliver_in_phase(receiver, act.msg);
+      while (!receiver.self_queue.empty()) {
+        Message msg = std::move(receiver.self_queue.front());
+        receiver.self_queue.pop_front();
+        ++stats.handler_calls;
+        deliver_in_phase(receiver, msg);
+      }
+    }
+    receiver.active_entry = nullptr;
+    ++stats.deliveries;
+  }
+}
+
+void Simulation::commit_activation(CalEntry& act) {
+  const Message& msg = act.msg;
+  const std::uint64_t age = act.delivery_pre - act.enqueue_index;
+
+  if (!observers_.empty()) {
+    MessageMeta meta;
+    meta.id = msg.id;
+    meta.from = msg.from;
+    meta.to = msg.to;
+    meta.tag = msg.tag;
+    meta.words = msg.words;
+    meta.send_seq = msg.send_seq;
+    meta.age = age;
+    // The "choice" is the hash-addressed schedule's; fairness never
+    // forces anything (delay is structurally bounded by W).
+    for (auto& obs : observers_) obs->on_adversary_choice(meta, false);
+  }
+
+  ++deliveries_;
+  metrics_.record_delivery(msg, age);
+  remember_delivered(msg);
+  for (auto& obs : observers_) obs->on_deliver(msg);
+  adversary_->observe_delivery(msg);
+
+  const ProcessId who = msg.to;
+  for (PendingEffect& e : act.effects) {
+    switch (e.kind) {
+      case PendingEffect::Kind::kSend: {
+        Message m;
+        m.id = next_msg_id_++;
+        m.from = who;
+        m.to = e.to;
+        m.tag = e.tag;
+        m.payload = std::move(e.payload);
+        m.words = static_cast<std::size_t>(e.a);
+        m.causal_depth = e.b;
+        m.send_seq = send_seq_++;
+        m.retransmit = e.retransmit;
+        metrics_.record_send(m, e.correct);
+        for (auto& obs : observers_) obs->on_send(m, e.correct);
+        if (cfg_.allow_content_visibility)
+          adversary_->observe_pending_content(m);
+        // Self copies were already delivered nested inside the handler
+        // phase; everything else transits the (serial) link layer now.
+        if (!e.self) push_through_link(std::move(m));
+        break;
+      }
+      case PendingEffect::Kind::kWakeup:
+        // deliveries_ here == delivery_pre + 1 == the handler's now().
+        wakeups_.push({deliveries_ + e.a, timer_seq_++, who,
+                       slots_[who]->wakeup_epoch});
+        break;
+      case PendingEffect::Kind::kDecide: {
+        if (e.correct) metrics_.record_decide(e.a, e.c);
+        if (!observers_.empty()) {
+          DecideEvent ev;
+          ev.who = who;
+          ev.scope = e.tag;
+          ev.value = static_cast<int>(static_cast<std::int64_t>(e.b));
+          ev.round = e.a;
+          ev.causal_depth = e.c;
+          ev.correct = e.correct;
+          for (auto& obs : observers_) obs->on_decide(ev);
+        }
+        break;
+      }
+      case PendingEffect::Kind::kRound:
+        for (auto& obs : observers_) obs->on_round(who, e.a);
+        break;
+      case PendingEffect::Kind::kDeadLetter:
+        metrics_.record_dead_letter(static_cast<std::size_t>(e.a));
+        for (auto& obs : observers_)
+          obs->on_dead_letter(who, e.to, e.tag,
+                              static_cast<std::size_t>(e.a));
+        break;
+      case PendingEffect::Kind::kVerifyBatch:
+        metrics_.record_verify_batch(static_cast<std::size_t>(e.a),
+                                     static_cast<std::size_t>(e.b),
+                                     static_cast<std::size_t>(e.c));
+        break;
+      case PendingEffect::Kind::kSigVerifyBatch:
+        metrics_.record_sig_verify_batch(static_cast<std::size_t>(e.a),
+                                         static_cast<std::size_t>(e.b),
+                                         static_cast<std::size_t>(e.c));
+        break;
+    }
+  }
+  act.effects.clear();
+}
+
+bool Simulation::superstep() {
+  fire_due_timers();
+  run_chaos_due();
+
+  if (calendar_size_ == 0) {
+    // Idle network: advance the delivery clock straight to the next
+    // timer/chaos event, exactly like the legacy idle path.
+    auto due = next_timer_due();
+    if (!due) return false;
+    if (*due >= cfg_.max_deliveries)
+      throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
+    deliveries_ = std::max(deliveries_, *due);
+    fire_due_timers();
+    run_chaos_due();
+    return true;
+  }
+
+  if (deliveries_ >= cfg_.max_deliveries)
+    throw ConfigError("Simulation: max_deliveries exceeded (livelock?)");
+
+  apply_corruptions();
+
+  // Advance to the next superstep with work. Every in-flight entry is at
+  // most W supersteps out, so this scans at most W ring slots.
+  do {
+    ++superstep_;
+  } while (slot_counts_[static_cast<std::size_t>(
+               superstep_ % cfg_.shard_slack)] == 0);
+  const auto slot =
+      static_cast<std::size_t>(superstep_ % cfg_.shard_slack);
+
+  // Phase 2 — exchange: move the due slot into each shard's work list
+  // and sort by the canonical (okey, route_seq) rank, in parallel. Idle
+  // shards (nothing due while another shard has work) are the
+  // deterministic load-imbalance signal run_report surfaces.
+  std::size_t busy = 0;
+  for (const auto& st : shard_states_)
+    if (!st->ring[slot].empty()) ++busy;
+  if (busy < cfg_.shards) {
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (shard_states_[s]->ring[slot].empty()) {
+        ++shard_stats_[s].idle_supersteps;
+        ++merge_stalls_;
+      }
+    }
+  }
+  shard_pool_->for_each_index(cfg_.shards, [&](std::size_t s) {
+    ShardState& st = *shard_states_[s];
+    st.acts = std::move(st.ring[slot]);
+    st.ring[slot].clear();
+    std::sort(st.acts.begin(), st.acts.end(),
+              [](const CalEntry& a, const CalEntry& b) {
+                return a.okey != b.okey ? a.okey < b.okey
+                                        : a.route_seq < b.route_seq;
+              });
+  });
+
+  // Merge: assign each activation its global delivery index (the rank in
+  // the k-way merge of the sorted shard lists) and remember the commit
+  // order. Runs before the handlers so now()/delivery_pre are available
+  // inside them.
+  std::size_t total = 0;
+  for (const auto& st : shard_states_) total += st->acts.size();
+  calendar_size_ -= total;
+  slot_counts_[slot] = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (shard, index)
+  order.reserve(total);
+  std::vector<std::size_t> cursor(cfg_.shards, 0);
+  for (std::size_t k = 0; k < total; ++k) {
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (cursor[s] >= shard_states_[s]->acts.size()) continue;
+      if (best == static_cast<std::size_t>(-1)) {
+        best = s;
+        continue;
+      }
+      const CalEntry& a = shard_states_[s]->acts[cursor[s]];
+      const CalEntry& b = shard_states_[best]->acts[cursor[best]];
+      if (a.okey < b.okey ||
+          (a.okey == b.okey && a.route_seq < b.route_seq))
+        best = s;
+    }
+    CalEntry& act = shard_states_[best]->acts[cursor[best]];
+    act.delivery_pre = deliveries_ + k;
+    order.emplace_back(best, cursor[best]);
+    ++cursor[best];
+  }
+
+  // Phase 3 — handlers, in parallel; every side-effect buffered.
+  parallel_phase_ = true;
+  shard_pool_->for_each_index(
+      cfg_.shards, [this](std::size_t s) { run_shard_handlers(s); });
+  parallel_phase_ = false;
+
+  // Phase 4 — serial commit in the merged canonical order.
+  for (const auto& [s, i] : order) commit_activation(shard_states_[s]->acts[i]);
+  for (auto& st : shard_states_) st->acts.clear();
   return true;
 }
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "sim/adversary.h"
 #include "sim/chaos.h"
 #include "sim/fault.h"
@@ -61,6 +62,37 @@ struct SimConfig {
   /// (the default) costs nothing; storm randomness burns a dedicated Rng
   /// like link faults, so schedules never perturb other streams.
   ChaosSchedule chaos;
+  /// Sharded superstep engine (DESIGN.md §5g). 0 = the legacy sequential
+  /// adversary-scheduled loop, byte-identical to prior releases. k >= 1
+  /// partitions delivery work across k shards (receiver id mod k) and
+  /// replaces the per-delivery adversary choice with a hash-addressed
+  /// random-delay schedule: every message's delivery superstep and
+  /// within-superstep rank are pure functions of (seed, route sequence),
+  /// so the global delivery order — fingerprints, traces, metrics,
+  /// decisions — is bit-identical for EVERY shard count and thread count.
+  /// Scheduling adversaries (Adversary::schedule) are bypassed in this
+  /// mode; corrupt_now/observe_delivery still fire.
+  std::size_t shards = 0;
+  /// Worker threads for the sharded engine, including the calling thread
+  /// (0 = min(shards, hardware)). Never affects the schedule.
+  std::size_t threads = 0;
+  /// Superstep slack window W: a routed message is delivered 1..W
+  /// supersteps after routing (hash-chosen). Larger W spreads a burst
+  /// over more supersteps (more reordering latitude, smaller batches).
+  std::uint64_t shard_slack = 4;
+  /// Capacity hint: expected peak in-flight messages. Presizes the
+  /// pending pool (legacy) or the shard calendars (sharded) so large-n
+  /// runs do not rehash/regrow mid-flight. 0 = no reservation.
+  std::size_t expected_in_flight = 0;
+};
+
+/// Per-shard telemetry of a sharded run (run_report surfaces this; it
+/// never enters Metrics, whose exports must stay byte-identical across
+/// shard counts).
+struct ShardStats {
+  std::uint64_t deliveries = 0;      // activations committed on this shard
+  std::uint64_t handler_calls = 0;   // on_message invocations (incl. self)
+  std::uint64_t idle_supersteps = 0; // supersteps this shard sat out
 };
 
 class Simulation {
@@ -124,7 +156,9 @@ class Simulation {
   std::size_t n() const { return cfg_.n; }
   std::size_t f_budget() const { return cfg_.f; }
   std::uint64_t deliveries() const { return deliveries_; }
-  bool has_pending() const { return !pending_.empty(); }
+  bool has_pending() const {
+    return sharded() ? calendar_size_ != 0 : !pending_.empty();
+  }
 
   /// Protocol-visible access for the harness (e.g. to read decisions).
   Process& process(ProcessId id);
@@ -150,9 +184,22 @@ class Simulation {
     return chaos_ ? chaos_->current_phase() : static_cast<std::size_t>(-1);
   }
 
+  /// Sharded-engine introspection (all zero/empty on the legacy path).
+  bool sharded() const { return cfg_.shards > 0; }
+  std::size_t shard_count() const { return cfg_.shards; }
+  std::uint64_t supersteps() const { return superstep_; }
+  /// Total idle shard-supersteps at the exchange barrier: supersteps in
+  /// which a shard had nothing to deliver while some other shard did —
+  /// the deterministic load-imbalance measure run_report surfaces.
+  std::uint64_t merge_stalls() const { return merge_stalls_; }
+  const std::vector<ShardStats>& shard_stats() const { return shard_stats_; }
+
  private:
   struct Slot;       // per-process runtime state
   class SlotContext; // Context implementation bound to one slot
+  struct PendingEffect;  // sharded engine: buffered handler side-effect
+  struct CalEntry;       // sharded engine: one routed in-flight message
+  struct ShardState;     // sharded engine: per-shard calendar + work list
 
   void dispatch_to(ProcessId to, const Message& msg);
   void drain_self_queue(ProcessId id);
@@ -160,6 +207,18 @@ class Simulation {
                     SharedBytes payload, std::size_t words,
                     bool retransmit = false);
   void apply_corruptions();
+
+  // Sharded superstep engine (DESIGN.md §5g). route_message is the one
+  // funnel below the link layer: legacy pushes into the pending pool,
+  // sharded inserts into a shard calendar at a hash-addressed superstep.
+  bool superstep();
+  void route_message(Message msg);
+  void buffer_send(ProcessId from, ProcessId to, Tag tag,
+                   SharedBytes payload, std::size_t words, bool retransmit);
+  void run_shard_handlers(std::size_t shard);
+  void deliver_in_phase(Slot& slot, const Message& msg);
+  void commit_activation(CalEntry& act);
+  std::size_t shard_of(ProcessId to) const { return to % cfg_.shards; }
 
   // Telemetry notes forwarded from SlotContext (Context::note_*): fan
   // out to Metrics and the observers. Pure observation — nothing here
@@ -232,6 +291,21 @@ class Simulation {
   // here share the delivered payload buffers (SharedBytes), so the
   // history's resident cost is O(window * header) per lossy link.
   FlatMap64<std::deque<Message>> replay_history_;
+
+  // Sharded superstep engine state (cfg_.shards > 0; empty otherwise).
+  // Calendars, the route counter and the per-superstep work lists live in
+  // per-shard ShardStates; the pool runs the parallel sort/handler
+  // phases; everything observable is emitted by the serial commit.
+  std::vector<std::unique_ptr<ShardState>> shard_states_;
+  std::unique_ptr<ThreadPool> shard_pool_;
+  std::uint64_t shard_seed_ = 0;
+  std::uint64_t route_seq_ = 0;       // canonical routing counter
+  std::uint64_t superstep_ = 0;
+  std::uint64_t calendar_size_ = 0;   // in-flight entries across shards
+  std::vector<std::uint64_t> slot_counts_;  // per ring slot, across shards
+  bool parallel_phase_ = false;       // handler phase: buffer effects
+  std::uint64_t merge_stalls_ = 0;
+  std::vector<ShardStats> shard_stats_;
 };
 
 }  // namespace coincidence::sim

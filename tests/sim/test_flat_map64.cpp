@@ -100,6 +100,54 @@ TEST(FlatMap64, TombstoneInProbeChainDoesNotHideKeys) {
   EXPECT_EQ(m.size(), keys.size());
 }
 
+// Large-n scale check (ISSUE 8 satellite): one million live keys with
+// churn on top. The load-factor invariant (live+tombstones <= half the
+// slots) and tombstone compaction must hold at this size — lookups stay
+// exact, the table never exceeds 4x the minimal power-of-two capacity,
+// and a churn pass over the full population doesn't strand tombstones.
+TEST(FlatMap64, MillionKeyChurnKeepsLoadBounded) {
+  FlatMap64<std::uint64_t> m;
+  const std::uint64_t kLive = 1'000'000;
+  for (std::uint64_t k = 0; k < kLive; ++k) m[k * 2654435761u] = k;
+  EXPECT_EQ(m.size(), kLive);
+  // Power-of-two table, load <= 50%: 1M keys need >= 2^21 slots; growth
+  // doubling can at most land one power above the minimum.
+  EXPECT_GE(m.slot_count(), 1u << 21);
+  EXPECT_LE(m.slot_count(), 1u << 23);
+  // Churn: erase + reinsert every key once. Tombstone compaction must
+  // absorb the dead slots instead of doubling the table again.
+  const std::size_t cap_before = m.slot_count();
+  for (std::uint64_t k = 0; k < kLive; ++k) {
+    ASSERT_TRUE(m.erase(k * 2654435761u));
+    m[k * 2654435761u + 1] = k;
+  }
+  EXPECT_EQ(m.size(), kLive);
+  EXPECT_LE(m.slot_count(), cap_before * 2);
+  for (std::uint64_t k = 0; k < kLive; k += 9973) {
+    ASSERT_NE(m.find(k * 2654435761u + 1), nullptr);
+    EXPECT_EQ(*m.find(k * 2654435761u + 1), k);
+    EXPECT_EQ(m.find(k * 2654435761u), nullptr);
+  }
+}
+
+// The SimConfig::expected_in_flight capacity hint: reserve() presizes so
+// inserts up to the hint never rehash, preserves existing entries, and
+// ignores shrinking requests.
+TEST(FlatMap64, ReserveHintPrSizesAndPreservesEntries) {
+  FlatMap64<int> m;
+  m[7] = 70;
+  m[8] = 80;
+  m.reserve(100'000);
+  const std::size_t cap = m.slot_count();
+  EXPECT_GE(cap, 200'000u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  for (std::uint64_t k = 0; k < 100'000; ++k) m[k + 1000] = 1;
+  EXPECT_EQ(m.slot_count(), cap) << "reserve hint did not prevent rehash";
+  m.reserve(10);  // shrink request: no-op
+  EXPECT_EQ(m.slot_count(), cap);
+}
+
 TEST(FlatMap64, ClearThenReuse) {
   FlatMap64<int> m;
   for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;

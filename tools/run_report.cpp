@@ -8,6 +8,7 @@
 //                [--drop p --dup p --replay p] [--reliable-channel]
 //                [--epsilon 0.25 --d 0.02] [--max-rounds 64]
 //                [--top 10] [--samples 1] [--threads 0]
+//                [--shards 0 --sim-threads 0]
 //                [--trace PATH] [--json PATH] [--prom PATH]   ("-" = stdout)
 //
 // Every run is a pure function of (config, seed), so this tool replays
@@ -188,6 +189,15 @@ int main(int argc, char** argv) {
     o.adversary = core::AdversaryKind::kHeavyTail;
   else if (adv != "random") return fail("unknown --adversary " + adv);
 
+  // Sharded superstep engine (ISSUE 8). The hash-addressed schedule
+  // replaces per-delivery adversary choices, so scheduling adversaries
+  // are refused rather than silently ignored.
+  o.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  o.threads = static_cast<std::size_t>(args.get_int("sim-threads", 0));
+  if (o.shards > 0 && adv != "random")
+    return fail("--shards needs --adversary random (the superstep "
+                "schedule replaces per-delivery adversary choices)");
+
   const auto top_k = static_cast<std::size_t>(args.get_int("top", 10));
   const auto samples = static_cast<std::size_t>(args.get_int("samples", 1));
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
@@ -246,6 +256,18 @@ int main(int argc, char** argv) {
               << " retransmits=" << r.retransmits
               << " dead-letters=" << r.dead_letters << " ("
               << r.dead_letter_words << " words)\n";
+  // Engine telemetry lives in the human report ONLY: the --json export
+  // is the cross-shard byte-compare surface (CI diffs it across --shards
+  // 1/2/4/8), so per-shard counters must never leak into Metrics.
+  if (r.shards > 0) {
+    std::cout << "sharded engine    : shards=" << r.shards << "  supersteps="
+              << r.supersteps << "  merge stalls=" << r.merge_stalls << '\n';
+    std::cout << "  deliveries/shard:";
+    for (std::size_t s = 0; s < r.shard_deliveries.size(); ++s)
+      std::cout << (s == 0 ? " " : " | ") << s << ':'
+                << r.shard_deliveries[s];
+    std::cout << '\n';
+  }
   std::cout << '\n';
 
   // --- Per-phase word breakdown (partitions correct_words exactly). ---
