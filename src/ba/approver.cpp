@@ -244,13 +244,15 @@ bool Approver::handle_ok(sim::Context& ctx, const sim::Message& msg) {
   for (const OkProofEntry& e : parse_scratch_)
     if (!cfg_.signer->verify(e.sender, expected, e.signature)) return true;
 
-  apply_ok(ctx, msg.from, v);
+  apply_ok(ctx, msg.from, v, msg.payload);
   return true;
 }
 
-void Approver::apply_ok(sim::Context& ctx, crypto::ProcessId sender, Value v) {
+void Approver::apply_ok(sim::Context& ctx, crypto::ProcessId sender, Value v,
+                        const SharedBytes& buf) {
   if (done_) return;  // state no-op (deferred flush past the threshold)
   if (!mark_seen(ok_seen_, sender)) return;
+  applied_oks_.push_back({sender, v, buf});
   ++ok_count_;
   ok_mask_ |= static_cast<std::uint8_t>(1u << v);
   if (ok_count_ == cfg_.params.W) {
@@ -344,8 +346,54 @@ void Approver::flush_ok_queue(sim::Context& ctx) {
   // path uses — bit-identical state evolution.
   for (std::size_t i = 0; i < oks.size(); ++i) {
     if (!accept_scratch_[i]) continue;
-    apply_ok(ctx, oks[i].sender, oks[i].v);
+    apply_ok(ctx, oks[i].sender, oks[i].v, oks[i].buf);
   }
+}
+
+std::optional<Value> Approver::verify_ok_payload(
+    const committee::Sampler& sampler, const crypto::Signer& signer,
+    const committee::Params& params, const std::string& approver_tag,
+    crypto::ProcessId sender, BytesView payload) {
+  Value v;
+  BytesView election;
+  std::vector<OkProofEntry> entries;
+  try {
+    Reader r(payload);
+    v = r.u8();
+    election = r.blob_view();
+    std::uint32_t count = r.u32();
+    if (count != params.W) return std::nullopt;
+    entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      OkProofEntry e;
+      e.sender = r.u32();
+      e.signature = r.blob_view();
+      e.election_proof = r.blob_view();
+      entries.push_back(e);
+    }
+    r.done();
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+  if (!is_valid_value(v)) return std::nullopt;
+
+  std::vector<crypto::ProcessId> ids;
+  ids.reserve(entries.size());
+  for (const OkProofEntry& e : entries) ids.push_back(e.sender);
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+    return std::nullopt;
+
+  const std::string ok_seed = approver_tag + "/ok";
+  const std::string echo_seed = approver_tag + "/echo/" + value_name(v);
+  if (!sampler.committee_val(ok_seed, sender, election)) return std::nullopt;
+  for (const OkProofEntry& e : entries)
+    if (!sampler.committee_val(echo_seed, e.sender, e.election_proof))
+      return std::nullopt;
+  const Bytes expected = make_echo_sign_bytes(approver_tag, v);
+  for (const OkProofEntry& e : entries)
+    if (!signer.verify(e.sender, expected, e.signature)) return std::nullopt;
+  return v;
 }
 
 const std::set<Value>& Approver::output() const {

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -68,6 +69,16 @@ class Approver {
 
   using DoneFn = std::function<void(const std::set<Value>&)>;
 
+  /// A verified <ok> this approver counted toward its W threshold. The
+  /// buffer is the raw ok payload (refcount-retained), so it can be
+  /// re-verified by third parties: ba_whp forwards applied oks as
+  /// round-skip locks and decision certificates.
+  struct AppliedOk {
+    crypto::ProcessId sender = 0;
+    Value v = kZero;
+    SharedBytes buf;
+  };
+
   /// `input` is this process's approve() argument (0, 1 or ⊥).
   Approver(Config cfg, Value input, DoneFn on_done = {});
   ~Approver();
@@ -77,6 +88,21 @@ class Approver {
   bool done() const { return done_; }
   /// The non-empty returned set; requires done().
   const std::set<Value>& output() const;
+
+  /// The verified oks applied so far, in application order (at most W).
+  const std::vector<AppliedOk>& applied_oks() const { return applied_oks_; }
+
+  /// Stateless re-verification of a forwarded <ok> payload, exactly the
+  /// inline path of handle_ok: parse, W distinct embedded senders, the
+  /// sender's ok election, the W echo elections, the W echo signatures.
+  /// `approver_tag` names the instance the ok claims to come from (its
+  /// committee-seed root, e.g. "slot7/0/a2"); `sender` is the claimed ok
+  /// broadcaster, bound by its election proof. Returns the carried value
+  /// on full success.
+  static std::optional<Value> verify_ok_payload(
+      const committee::Sampler& sampler, const crypto::Signer& signer,
+      const committee::Params& params, const std::string& approver_tag,
+      crypto::ProcessId sender, BytesView payload);
 
   /// Whitebox accessors for tests.
   bool in_init_committee() const { return in_init_; }
@@ -130,8 +156,10 @@ class Approver {
 
   /// The state transition of one verified <ok,v> from `sender` — shared
   /// verbatim by the inline and deferred paths (arrival order + the same
-  /// guards = bit-identical evolution).
-  void apply_ok(sim::Context& ctx, crypto::ProcessId sender, Value v);
+  /// guards = bit-identical evolution). `buf` is the raw ok payload,
+  /// retained in applied_oks_ for lock/certificate forwarding.
+  void apply_ok(sim::Context& ctx, crypto::ProcessId sender, Value v,
+                const SharedBytes& buf);
 
   /// Deferred path: flush every pending ok through one election batch +
   /// one memoized signature batch, then apply survivors in arrival order.
@@ -170,6 +198,7 @@ class Approver {
 
   // ok phase.
   std::vector<bool> ok_seen_;
+  std::vector<AppliedOk> applied_oks_;  // counted oks, application order
   std::uint32_t ok_count_ = 0;
   std::uint8_t ok_mask_ = 0;       // bit v set ⟺ v carried by a valid ok
   std::set<Value> ok_values_;      // materialized from ok_mask_ at done

@@ -15,6 +15,28 @@
 // Õ(n) words. Processes keep participating through round decided+1 so
 // that stragglers can finish (Lemma 6.16 shows everyone decides at most
 // one round later whp), then halt.
+//
+// Round-skip liveness fallback (Config::skip_timeout, off by default):
+// the paper's per-round sub-protocols terminate only whp — a committee
+// drawn with fewer than W live members (a real event at relaxed small-n
+// parameters, see DESIGN.md §5h) wedges its round forever, since no ok
+// quorum can ever assemble. When the fallback is armed, a process that
+// sees no round progress for skip_timeout delivery events broadcasts
+// <skip-req, r>; f+1 distinct requests make everyone join (Bracha-style
+// amplification) and 2f+1 advance the round with *fresh* committees,
+// which succeed whp. Two guards close the decided-vs-skipped races:
+//  - lock forwarding: a skip-req carries one verified non-⊥ <ok> of the
+//    dying round (if its sender applied any); skippers adopt the locked
+//    value as est, so a round in which a decision was brewing re-proposes
+//    that value.
+//  - decision certificates: a decided process answers skip-reqs with the
+//    W verified <ok> payloads that formed props = {v}; any process
+//    accepts a valid certificate as an immediate decision (the cert is
+//    exactly the props = {v} evidence, so certificate decisions inherit
+//    the ok-quorum intersection argument of Lemmas 6.5/6.6).
+// The fallback trades nothing deterministic away — agreement was already
+// whp (committee quorums) — and restores termination across the
+// committee-tail event at O(n²) extra words only on wedged rounds.
 #pragma once
 
 #include <cstdint>
@@ -50,12 +72,25 @@ class BaWhp final : public BaProcess {
     /// extra round suffices whp; the default adds slack for the rare
     /// whp-failure so stragglers are not stranded by halted deciders.
     std::uint64_t extra_rounds = 4;
+    /// Round-skip liveness fallback (header comment above): broadcast a
+    /// <skip-req> after this many delivery events without round progress.
+    /// 0 (the default) disables the fallback entirely — no wakeups, no
+    /// extra messages, byte-identical to prior releases. Drivers should
+    /// size it well above one healthy round's delivery count (the
+    /// session layer scales it by n and concurrent slots).
+    std::uint64_t skip_timeout = 0;
+    /// Re-broadcast the skip-req at most this many times per round, then
+    /// wait passively (bounds wakeup traffic of a lone straggler that can
+    /// never assemble a skip quorum).
+    std::uint32_t skip_max_attempts = 8;
   };
 
   BaWhp(Config cfg, Value initial);
 
   void on_start(sim::Context& ctx) override;
   void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  /// Skip-fallback timer (armed only when Config::skip_timeout > 0).
+  void on_wakeup(sim::Context& ctx) override;
   /// kCrashRecover restart: every live sub-instance (and its deferred
   /// verify queue) is torn down, then (round, est, decision) are rebuilt
   /// from the persisted snapshot — or from the initial value when the
@@ -73,6 +108,22 @@ class BaWhp final : public BaProcess {
   std::uint64_t current_round() const { return round_; }
   Value estimate() const { return est_; }
 
+  /// Whitebox introspection for tests and the session stall diagnostics:
+  /// which sub-protocol of the current round this process is waiting in.
+  const char* phase_name() const {
+    switch (phase_) {
+      case Phase::kApproveEst: return "a1";
+      case Phase::kCoin: return "coin";
+      case Phase::kApprovePropose: return "a2";
+      case Phase::kHalted: return "halted";
+    }
+    return "?";
+  }
+  const Approver* active_approver() const { return approver_.get(); }
+  std::size_t backlog_size() const { return backlog_.size(); }
+  std::uint64_t rounds_skipped() const { return rounds_skipped_; }
+  bool decided_by_certificate() const { return decided_by_cert_; }
+
  private:
   enum class Phase { kApproveEst, kCoin, kApprovePropose, kHalted };
 
@@ -84,11 +135,35 @@ class BaWhp final : public BaProcess {
   void on_vals(sim::Context& ctx, const std::set<Value>& vals);
   void on_coin(sim::Context& ctx, int c);
   void on_props(sim::Context& ctx, const std::set<Value>& props);
+  void advance_round(sim::Context& ctx);
   void replay_backlog(sim::Context& ctx);
   bool offer(sim::Context& ctx, const sim::Message& msg);
   std::uint64_t tag_round(sim::Tag tag) const;
   /// Writes the round-boundary snapshot to stable storage.
   void persist_now(sim::Context& ctx);
+
+  // Round-skip fallback (no-ops unless cfg_.skip_timeout > 0).
+  bool skip_enabled() const { return cfg_.skip_timeout > 0; }
+  bool is_skip_tag(sim::Tag tag) const;
+  void arm_skip_timer(sim::Context& ctx);
+  /// A current-round sub-instance consumed a message: the round is
+  /// alive, so slide the skip deadline and forgive past attempts. Makes
+  /// the timeout a *silence* detector rather than a latency bound —
+  /// robust to pipelined sessions stretching healthy rounds.
+  void note_progress(sim::Context& ctx);
+  void send_skip_req(sim::Context& ctx);
+  bool handle_skip_req(sim::Context& ctx, const sim::Message& msg);
+  void execute_skip(sim::Context& ctx);
+  void maybe_send_cert(sim::Context& ctx, sim::ProcessId to);
+  bool handle_decided_cert(sim::Context& ctx, const sim::Message& msg);
+  /// The a2 tag of round r — the committee-seed root certificate and
+  /// lock oks verify against.
+  std::string a2_tag(std::uint64_t r) const { return round_tag(r) + "/a2"; }
+  /// A verified non-⊥ ok of the current round's a2 to forward as a lock:
+  /// this process's own applied oks first, else a retained forwarded one.
+  std::optional<Approver::AppliedOk> current_lock() const;
+  /// insert().second over a growable sender bitmap (see Approver's).
+  static bool mark_seen(std::vector<bool>& seen, crypto::ProcessId from);
 
   Config cfg_;
   Value initial_;  // recovery fallback when no snapshot survives
@@ -114,6 +189,31 @@ class BaWhp final : public BaProcess {
   // later phases) — replayed on every phase change. Bounded by the total
   // traffic of max_rounds rounds.
   std::vector<sim::Message> backlog_;
+
+  // --- Round-skip fallback state (all dormant when skip_timeout == 0).
+  sim::Tag tag_decided_;              // "<tag>/decided", round-independent
+  sim::Tag tag_skip_;                 // "<tag>/<round_>/skip", per round
+  std::vector<bool> skip_seen_;       // distinct skip-req senders, this round
+  std::uint32_t skip_count_ = 0;
+  bool sent_skip_ = false;
+  std::uint32_t skip_attempts_ = 0;
+  std::uint64_t armed_round_ = 0;     // round the pending wakeup watches
+  std::uint64_t skip_deadline_ = 0;   // now() at which the timer is due:
+                                      // hosts (InstanceMux) fan wakeups to
+                                      // every instance, so each filters
+                                      // ticks meant for a sibling
+  std::uint64_t next_wakeup_at_ = 0;  // tick of this instance's own live
+                                      // wakeup chain (one per instance)
+  std::uint32_t lock_checks_ = 0;     // forwarded-lock verifications, per round
+  std::optional<Approver::AppliedOk> fwd_lock_;  // verified forwarded lock
+  std::uint64_t rounds_skipped_ = 0;
+  bool decided_by_cert_ = false;
+  // Decision certificate: the W applied oks that formed props = {v}, or
+  // the entries of an accepted forwarded certificate. Retained payloads.
+  std::vector<Approver::AppliedOk> cert_oks_;
+  std::uint64_t cert_round_ = 0;      // a2 round the certificate verifies in
+  std::vector<bool> certed_;          // requesters already answered
+  std::vector<bool> cert_rejected_;   // senders of invalid certificates
 };
 
 }  // namespace coincidence::ba

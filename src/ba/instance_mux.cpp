@@ -20,6 +20,10 @@ void InstanceMux::on_start(sim::Context& ctx) {
   for (auto& [prefix, instance] : instances_) instance->on_start(ctx);
 }
 
+void InstanceMux::on_wakeup(sim::Context& ctx) {
+  for (auto& [prefix, instance] : instances_) instance->on_wakeup(ctx);
+}
+
 void InstanceMux::on_message(sim::Context& ctx, const sim::Message& msg) {
   // Route by the first tag segment; unknown prefixes are dropped (they
   // can only come from Byzantine senders inventing instances). The

@@ -25,6 +25,9 @@ class InstanceMux final : public sim::Process {
 
   void on_start(sim::Context& ctx) override;
   void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  /// Wakeups carry no payload, so every instance is offered the tick;
+  /// instances that scheduled nothing treat it as a no-op.
+  void on_wakeup(sim::Context& ctx) override;
 
   std::size_t instance_count() const { return instances_.size(); }
   /// The instance registered under `prefix`; throws if absent.

@@ -59,6 +59,8 @@ SessionReport Session::run_concurrent_slots(
   cfg.n = n;
   cfg.f = silent_faults;
   cfg.seed = seed;
+  cfg.shards = options_.shards;
+  cfg.threads = options_.threads;
   sim::Simulation sim(cfg);
   auto slot_words = std::make_shared<SlotWordObserver>(slots);
   sim.add_observer(slot_words);
@@ -75,6 +77,8 @@ SessionReport Session::run_concurrent_slots(
       bcfg.signer = env_.signer;
       if (defer_verify_) bcfg.batcher = env_.batcher;
       bcfg.max_rounds = max_rounds;
+      bcfg.skip_timeout = options_.skip_timeout;
+      bcfg.skip_max_attempts = options_.skip_max_attempts;
       mux->add_instance("slot" + std::to_string(slot),
                         std::make_unique<ba::BaWhp>(bcfg, inputs[slot][i]));
     }
@@ -103,6 +107,12 @@ SessionReport Session::run_concurrent_slots(
       if (sim.is_corrupted(i)) continue;
       auto& mux = dynamic_cast<ba::InstanceMux&>(sim.process(i));
       auto& ba = mux.instance("slot" + std::to_string(slot));
+      if (const auto* whp = dynamic_cast<const ba::BaWhp*>(&ba)) {
+        sr.max_round_reached =
+            std::max(sr.max_round_reached, whp->current_round());
+        sr.rounds_skipped += whp->rounds_skipped();
+        sr.cert_decisions += whp->decided_by_certificate() ? 1 : 0;
+      }
       if (!ba.decided()) {
         sr.all_correct_decided = false;
         continue;

@@ -22,7 +22,28 @@ struct SlotReport {
   std::optional<int> decision;
   bool agreement = true;
   std::uint64_t max_decided_round = 0;
+  /// Highest round any correct process *entered* for this slot — unlike
+  /// max_decided_round it is honest for wedged slots too (a slot stuck
+  /// in round 0 reports 0 because round 0 is where it sat, not because
+  /// the telemetry never fired).
+  std::uint64_t max_round_reached = 0;
+  /// Rounds advanced via the skip fallback (summed over correct
+  /// processes) and decisions adopted from a forwarded certificate.
+  std::uint64_t rounds_skipped = 0;
+  std::uint64_t cert_decisions = 0;
   std::uint64_t correct_words = 0;  // attributed by slot tag prefix
+};
+
+/// Session-wide knobs (all default to the legacy behaviour).
+struct SessionOptions {
+  /// BaWhp round-skip liveness fallback (ba_whp.h): silence window in
+  /// delivery events before a wedged round is skipped. 0 = off.
+  std::uint64_t skip_timeout = 0;
+  std::uint32_t skip_max_attempts = 8;
+  /// Sharded superstep engine (sim/simulation.h). 0 = legacy loop;
+  /// k >= 1 is bit-identical for every shard/thread count.
+  std::size_t shards = 0;
+  std::size_t threads = 0;
 };
 
 struct SessionReport {
@@ -48,6 +69,10 @@ class Session {
   /// decisions and word counts are bit-identical either way.
   void set_defer_verify(bool on) { defer_verify_ = on; }
 
+  /// Applies to every subsequent run_concurrent_slots call.
+  void set_options(const SessionOptions& options) { options_ = options; }
+  const SessionOptions& options() const { return options_; }
+
   /// Runs `inputs.size()` BA-WHP instances *concurrently* in a single
   /// simulation: every process participates in all slots at once;
   /// inputs[slot][process] is its proposal for that slot. Committee seeds
@@ -62,6 +87,7 @@ class Session {
  private:
   Env env_;
   bool defer_verify_ = true;
+  SessionOptions options_;
 };
 
 }  // namespace coincidence::core

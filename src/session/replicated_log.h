@@ -1,0 +1,136 @@
+// Replicated log over pipelined multivalued BA slots — the application
+// layer the paper's §3 remark ("setup has to occur once and may be used
+// for any number of BA instances") is ultimately for: a state-machine-
+// replication log where slot k's value is agreed by a MultiValuedBa
+// instance tagged "slot<k>", all slots sharing one PKI/VRF setup.
+//
+// Each process carries an unbounded stream of simulated client requests
+// (deterministically generated from LogConfig::client_seed, so runs are
+// replayable). For slot k it proposes a batch of batch_size of its own
+// requests; the slot's MvBa adopts exactly one proposer's batch (or the
+// no-op value when every examined candidate loses its race), and every
+// correct process appends the same payload at the same position.
+//
+// Pipelining: at most pipeline_depth slots are undecided ("in flight")
+// at once. Slot k activates locally as soon as fewer than depth earlier
+// slots are still undecided, so independent slots overlap instead of
+// running lock-step; decisions may land out of order, and the log
+// commits its contiguous decided prefix. Messages for slots a peer has
+// not activated yet are backlogged and replayed on activation, exactly
+// like BaWhp's round backlog.
+//
+// Exactly-once request semantics are out of scope here (a real system
+// would dedup against the committed prefix); the layer reports honest
+// counts of what it committed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ba/mv_ba.h"
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "sim/flat_map64.h"
+#include "sim/process.h"
+
+namespace coincidence::session {
+
+struct LogConfig {
+  /// Slot k's MvBa instance tag is "<slot_prefix><k>".
+  std::string slot_prefix = "slot";
+  committee::Params params;
+  std::shared_ptr<const crypto::Vrf> vrf;
+  std::shared_ptr<const crypto::KeyRegistry> registry;
+  std::shared_ptr<const committee::Sampler> sampler;
+  std::shared_ptr<const crypto::Signer> signer;
+  std::shared_ptr<coin::BatchVerifier> batcher;
+
+  std::size_t total_slots = 8;
+  /// Max locally-undecided slots in flight at once (>= 1).
+  std::size_t pipeline_depth = 4;
+  /// Client requests batched into each proposal.
+  std::size_t batch_size = 4;
+
+  // Forwarded to every slot's MultiValuedBa (see mv_ba.h / ba_whp.h).
+  std::uint64_t max_rounds = 32;
+  std::uint64_t extra_rounds = 4;
+  std::uint64_t skip_timeout = 0;
+  std::uint32_t skip_max_attempts = 8;
+  std::size_t max_candidates = 8;
+
+  /// Seed of the simulated client-request stream.
+  std::uint64_t client_seed = 0xC11E57;
+};
+
+class LogProcess final : public sim::Process {
+ public:
+  explicit LogProcess(LogConfig cfg);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_wakeup(sim::Context& ctx) override;
+
+  std::size_t slots_activated() const { return slots_.size(); }
+  std::size_t slots_decided() const { return decided_count_; }
+  /// Length of the contiguous committed prefix.
+  std::size_t committed_count() const { return log_.size(); }
+  bool all_committed() const { return log_.size() == cfg_.total_slots; }
+  const Bytes& committed(std::size_t slot) const { return log_.at(slot); }
+  /// Requests in the committed prefix (no-op slots contribute zero).
+  std::uint64_t requests_committed() const { return requests_committed_; }
+
+  /// sha256 over the length-prefixed committed entries — byte-equal
+  /// across correct processes iff their logs agree.
+  crypto::Digest log_fingerprint() const;
+
+  /// Telemetry (delivery-event clock): per-slot activation -> local
+  /// decision, and activation -> contiguous commit. Require the slot to
+  /// have reached the respective state.
+  std::uint64_t decide_latency(std::size_t slot) const;
+  std::uint64_t commit_latency(std::size_t slot) const;
+
+  std::uint64_t rounds_skipped() const;
+  std::uint64_t max_decided_round() const;
+  /// Whitebox: the MvBa instance of an activated slot (tests, stall
+  /// diagnostics).
+  const ba::MultiValuedBa& slot_instance(std::size_t k) const {
+    return *slots_.at(k);
+  }
+  /// The proposal this process would make for `slot` (exposed so tests
+  /// can check validity: every committed batch is some process's batch).
+  Bytes batch_for(sim::ProcessId proposer, std::size_t slot) const;
+
+ private:
+  std::string slot_tag(std::size_t k) const {
+    return cfg_.slot_prefix + std::to_string(k);
+  }
+  /// The driver loop: latch local slot decisions, open new slots while
+  /// the pipeline has room, extend the contiguous committed prefix.
+  void pump(sim::Context& ctx);
+  void activate_slot(sim::Context& ctx);
+  std::optional<std::size_t> slot_of_tag(const sim::Tag& tag);
+
+  LogConfig cfg_;
+  sim::ProcessId self_ = 0;  // bound in on_start
+
+  // Slot k's instance lives at slots_[k]; activation is strictly
+  // sequential. Done flags latch decided() transitions.
+  std::vector<std::unique_ptr<ba::MultiValuedBa>> slots_;
+  std::vector<bool> slot_done_;
+  std::size_t decided_count_ = 0;
+  std::vector<sim::Message> backlog_;  // for slots not yet activated
+  // TagId -> slot index + 1 (0 = foreign tag), as in InstanceMux.
+  sim::FlatMap64<std::uint32_t> slot_cache_;
+
+  std::vector<Bytes> log_;  // committed contiguous prefix
+  std::uint64_t requests_committed_ = 0;
+
+  std::vector<std::uint64_t> activated_at_;
+  std::vector<std::uint64_t> decided_at_;
+  std::vector<std::uint64_t> committed_at_;
+};
+
+}  // namespace coincidence::session
