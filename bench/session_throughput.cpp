@@ -6,9 +6,12 @@
 // as K grows. Expected shape: per-slot cost flat in K (instances are
 // independent — committees are re-sampled per slot from the same keys),
 // so total cost is linear in K with zero marginal setup.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
+#include "ba/broadcast.h"
 #include "bench_json.h"
 #include "common/args.h"
 #include "common/stats.h"
@@ -18,11 +21,34 @@
 
 using namespace coincidence;
 
+namespace {
+
+/// Row-name suffixless backend label: Bracha rows keep the historical
+/// "log/N" names (the CI gate's frozen vocabulary); EC rows add "-ec".
+std::string log_row_name(ba::RbcBackend backend, std::size_t slots) {
+  return std::string(backend == ba::RbcBackend::kEc ? "log-ec/" : "log/") +
+         std::to_string(slots);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const auto n = static_cast<std::size_t>(args.get_int("n", 48));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15));
   const std::string json_path = args.get("json", "");
+  // --rbc bracha|ec restricts the multivalued sections to one
+  // dissemination backend; the default measures both.
+  std::vector<ba::RbcBackend> backends = {ba::RbcBackend::kBracha,
+                                          ba::RbcBackend::kEc};
+  if (const std::string rbc = args.get("rbc", ""); !rbc.empty()) {
+    auto parsed = ba::parse_rbc_backend(rbc);
+    if (!parsed) {
+      std::cerr << "unknown --rbc backend: " << rbc << "\n";
+      return 2;
+    }
+    backends = {*parsed};
+  }
   bench::BenchJson json;
   json.context("bench", "session_throughput");
   json.context("n", static_cast<double>(n));
@@ -105,56 +131,124 @@ int main(int argc, char** argv) {
                "of concurrency.\n";
 
   // --- E16: multivalued replicated log (src/session). ------------------
-  // Pipelined MvBa slots batching simulated client requests; each slot
-  // pays a full n-source Bracha RBC (echo/ready are n^2 broadcasts of
-  // the payload), so words/slot is RBC-dominated and honestly far above
-  // the binary rows — the metric that matters here is requests per
-  // delivery event and decide latency, which pipelining amortizes.
+  // Pipelined MvBa slots batching simulated client requests, run once
+  // per dissemination backend (ba/broadcast.h). Under Bracha each slot
+  // pays a full n-source RBC (echo/ready are n^2 broadcasts of the
+  // payload), so words/slot is dissemination-dominated; the erasure-
+  // coded backend ships ⌈|v|/k⌉-word fragments plus λ·log n Merkle
+  // branches instead, which is where the O(n²·|v|) → O(n·|v| + n²·λ)
+  // headline comes from. The 64-request default batch (~2KB proposals)
+  // sits past the coded path's break-even (see E17 below for the sweep).
   const auto log_slots_max =
       static_cast<std::size_t>(args.get_int("log-slots", 8));
+  const auto log_batch =
+      static_cast<std::size_t>(args.get_int("log-batch", 64));
   std::cout << "\n== E16: replicated log over pipelined multivalued slots, "
-               "n=" << n << " depth=4 batch=4 silent=2 ==\n\n";
-  Table lt({"slots", "committed", "agreed", "requests", "req/100k deliv",
-            "decide p50", "decide p90", "words/slot", "rounds skipped"});
+               "n=" << n << " depth=4 batch=" << log_batch
+            << " silent=2 ==\n\n";
+  Table lt({"rbc", "slots", "committed", "agreed", "requests",
+            "req/100k deliv", "decide p50", "decide p90", "words/slot",
+            "rounds skipped"});
   for (std::size_t slots = 4; slots <= log_slots_max; slots *= 2) {
-    core::Env env = core::Env::make_relaxed(n, seed);
-    session::LogRunOptions lopts;
-    lopts.slots = slots;
-    lopts.pipeline_depth = 4;
-    lopts.batch_size = 4;
-    lopts.silent_faults = 2;
-    lopts.sim_seed = seed + slots;
-    session::LogReport lr = session::run_replicated_log(env, lopts);
-    bench::BenchJson::Row& row = json.row("log/" + std::to_string(slots));
-    bench::BenchJson::field(row, "slots", static_cast<double>(slots));
-    bench::BenchJson::field(row, "all_committed",
-                            lr.all_committed ? 1.0 : 0.0);
-    bench::BenchJson::field(row, "agreement", lr.agreement ? 1.0 : 0.0);
-    bench::BenchJson::field(row, "requests_committed",
-                            static_cast<double>(lr.requests_committed));
-    bench::BenchJson::field(row, "requests_per_100k_deliveries",
-                            lr.requests_per_100k_deliveries);
-    bench::BenchJson::field(row, "decide_latency_p50",
-                            static_cast<double>(lr.decide_latency_p50));
-    bench::BenchJson::field(row, "decide_latency_p90",
-                            static_cast<double>(lr.decide_latency_p90));
-    bench::BenchJson::field(row, "decide_latency_max",
-                            static_cast<double>(lr.decide_latency_max));
-    bench::BenchJson::field(row, "words_per_slot",
-                            static_cast<double>(lr.words_per_slot));
-    bench::BenchJson::field(row, "rounds_skipped",
-                            static_cast<double>(lr.rounds_skipped));
-    lt.add_row({std::to_string(slots),
-                lr.all_committed ? "yes" : "NO",
-                lr.agreement ? "yes" : "NO",
-                std::to_string(lr.requests_committed),
-                std::to_string(lr.requests_per_100k_deliveries).substr(0, 5),
-                Table::count(lr.decide_latency_p50),
-                Table::count(lr.decide_latency_p90),
-                Table::count(lr.words_per_slot),
-                std::to_string(lr.rounds_skipped)});
+    for (ba::RbcBackend backend : backends) {
+      core::Env env = core::Env::make_relaxed(n, seed);
+      session::LogRunOptions lopts;
+      lopts.slots = slots;
+      lopts.pipeline_depth = 4;
+      lopts.batch_size = log_batch;
+      lopts.silent_faults = 2;
+      lopts.sim_seed = seed + slots;
+      lopts.rbc = backend;
+      session::LogReport lr = session::run_replicated_log(env, lopts);
+      bench::BenchJson::Row& row = json.row(log_row_name(backend, slots));
+      bench::BenchJson::field(row, "slots", static_cast<double>(slots));
+      bench::BenchJson::field(row, "all_committed",
+                              lr.all_committed ? 1.0 : 0.0);
+      bench::BenchJson::field(row, "agreement", lr.agreement ? 1.0 : 0.0);
+      bench::BenchJson::field(row, "requests_committed",
+                              static_cast<double>(lr.requests_committed));
+      bench::BenchJson::field(row, "requests_per_100k_deliveries",
+                              lr.requests_per_100k_deliveries);
+      bench::BenchJson::field(row, "decide_latency_p50",
+                              static_cast<double>(lr.decide_latency_p50));
+      bench::BenchJson::field(row, "decide_latency_p90",
+                              static_cast<double>(lr.decide_latency_p90));
+      bench::BenchJson::field(row, "decide_latency_max",
+                              static_cast<double>(lr.decide_latency_max));
+      bench::BenchJson::field(row, "words_per_slot",
+                              static_cast<double>(lr.words_per_slot));
+      bench::BenchJson::field(row, "rounds_skipped",
+                              static_cast<double>(lr.rounds_skipped));
+      lt.add_row({ba::to_string(backend), std::to_string(slots),
+                  lr.all_committed ? "yes" : "NO",
+                  lr.agreement ? "yes" : "NO",
+                  std::to_string(lr.requests_committed),
+                  std::to_string(lr.requests_per_100k_deliveries).substr(0, 5),
+                  Table::count(lr.decide_latency_p50),
+                  Table::count(lr.decide_latency_p90),
+                  Table::count(lr.words_per_slot),
+                  std::to_string(lr.rounds_skipped)});
+    }
   }
   lt.print(std::cout);
+  std::cout << "\nE16 words/slot: the coded backend wins only past its "
+               "break-even payload size\n(per-echo Merkle branches cost "
+               "λ·log2(n) words regardless of |v|); the E17 sweep\nbelow "
+               "shows the crossover explicitly.\n";
+
+  // --- E17: bracha-vs-ec words/slot over n and |v|. ---------------------
+  // Two pipelined slots per cell, batch sizes {4, 16, 64} (~120B/~500B/
+  // ~2KB proposals). The honest finding this sweep exists to keep
+  // honest: below ~230-byte proposals at n=48 the EC branch overhead
+  // exceeds the fragment saving and Bracha is cheaper — coding pays off
+  // k-fold only once fragments dominate branches.
+  std::cout << "\n== E17: dissemination backends across n and proposal "
+               "size, slots=2 depth=2 silent=min(2,f) ==\n\n";
+  Table et({"n", "batch", "rbc", "committed", "agreed", "words/slot"});
+  for (std::size_t en : {24, 48}) {
+    for (std::size_t batch : {4, 16, 64}) {
+      std::uint64_t words_by_backend[2] = {0, 0};
+      for (ba::RbcBackend backend : backends) {
+        core::Env env = core::Env::make_relaxed(en, seed);
+        session::LogRunOptions lopts;
+        lopts.slots = 2;
+        lopts.pipeline_depth = 2;
+        lopts.batch_size = batch;
+        // Small-n relaxed params tolerate fewer silent processes.
+        lopts.silent_faults = std::min<std::size_t>(2, env.f());
+        lopts.sim_seed = seed + batch;
+        lopts.rbc = backend;
+        session::LogReport lr = session::run_replicated_log(env, lopts);
+        words_by_backend[backend == ba::RbcBackend::kEc] =
+            lr.words_per_slot;
+        bench::BenchJson::Row& row = json.row(
+            "e17/n" + std::to_string(en) + "/b" + std::to_string(batch) +
+            "/" + ba::to_string(backend));
+        bench::BenchJson::field(row, "n", static_cast<double>(en));
+        bench::BenchJson::field(row, "batch", static_cast<double>(batch));
+        bench::BenchJson::field(row, "all_committed",
+                                lr.all_committed ? 1.0 : 0.0);
+        bench::BenchJson::field(row, "agreement", lr.agreement ? 1.0 : 0.0);
+        bench::BenchJson::field(row, "words_per_slot",
+                                static_cast<double>(lr.words_per_slot));
+        et.add_row({std::to_string(en), std::to_string(batch),
+                    ba::to_string(backend),
+                    lr.all_committed ? "yes" : "NO",
+                    lr.agreement ? "yes" : "NO",
+                    Table::count(lr.words_per_slot)});
+      }
+      if (backends.size() == 2 && words_by_backend[1] > 0) {
+        bench::BenchJson::Row& row = json.row(
+            "e17/n" + std::to_string(en) + "/b" + std::to_string(batch) +
+            "/ratio");
+        bench::BenchJson::field(
+            row, "bracha_over_ec",
+            static_cast<double>(words_by_backend[0]) /
+                static_cast<double>(words_by_backend[1]));
+      }
+    }
+  }
+  et.print(std::cout);
   // --- Deferred batch verification: wall-clock on the real VRF. -------
   // The simulator's causal metrics are bit-identical with deferral on or
   // off (the protocol sends the same words either way); the win is CPU

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ba/ba_whp.h"
+#include "ba/broadcast.h"
 #include "bench_json.h"
 #include "coin/coin_protocol.h"
 #include "coin/verify_queue.h"
@@ -360,6 +361,77 @@ RunStats run_ba_whp(std::size_t n, std::uint64_t seed) {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// RBC dissemination workload (ISSUE 10): a fixed set of sources reliable-
+// broadcasts 1KB payloads to n processes, once per --rbc backend. Bracha
+// re-ships the full value in every echo (n² payload copies per source);
+// the erasure-coded backend ships ⌈|v|/k⌉-byte fragments plus Merkle
+// branches — the alloc/bytes-per-delivery columns are the message-plane
+// cost of that difference, with no BA or crypto on the profile (sha256
+// is the only hashing either backend does).
+// ---------------------------------------------------------------------------
+
+class RbcHost final : public sim::Process {
+ public:
+  RbcHost(ba::RbcBackend backend, ba::Broadcast::Config cfg,
+          Bytes to_send)
+      : rbc_(ba::make_broadcast(backend, std::move(cfg),
+                                [](sim::ProcessId, const Bytes&) {})),
+        to_send_(std::move(to_send)) {}
+
+  void on_start(sim::Context& ctx) override {
+    if (!to_send_.empty()) rbc_->broadcast(ctx, to_send_);
+  }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    rbc_->handle(ctx, msg);
+  }
+  std::size_t delivered_count() const { return rbc_->delivered_count(); }
+
+ private:
+  std::unique_ptr<ba::Broadcast> rbc_;
+  Bytes to_send_;
+};
+
+ba::RbcBackend g_rbc_backend = ba::RbcBackend::kBracha;
+
+RunStats run_rbc(std::size_t n, std::uint64_t seed) {
+  const std::size_t sources = std::min<std::size_t>(n, 8);
+  const std::size_t f = (n - 1) / 3;
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.f = 0;
+  cfg.seed = seed;
+  cfg.shards = g_shards;
+  cfg.threads = g_threads;
+  if (g_shards > 0) cfg.expected_in_flight = n * 16;
+  sim::Simulation sim(cfg);
+  for (crypto::ProcessId i = 0; i < n; ++i) {
+    ba::Broadcast::Config bcfg;
+    bcfg.tag = "rbc";
+    bcfg.n = n;
+    bcfg.f = f;
+    Bytes payload;
+    if (i < sources) {
+      payload.resize(1024);
+      for (std::size_t b = 0; b < payload.size(); ++b)
+        payload[b] = static_cast<std::uint8_t>((i * 131 + b) & 0xff);
+    }
+    sim.add_process(std::make_unique<RbcHost>(g_rbc_backend, std::move(bcfg),
+                                              std::move(payload)));
+  }
+  return measure([&] {
+    sim.start();
+    sim.run_until([&] {
+      for (sim::ProcessId i = 0; i < n; ++i)
+        if (dynamic_cast<RbcHost&>(sim.process(i)).delivered_count() <
+            sources)
+          return false;
+      return true;
+    });
+    return sim.metrics().deliveries();
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,6 +450,18 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("max_n", 128));
   const std::string json_path =
       args.get("bench_json", args.get("json", ""));
+  // --rbc bracha|ec restricts the dissemination workload to one backend;
+  // the default measures both (rows "rbc_bracha/..." and "rbc_ec/...").
+  std::vector<ba::RbcBackend> rbc_backends = {ba::RbcBackend::kBracha,
+                                              ba::RbcBackend::kEc};
+  if (const std::string rbc = args.get("rbc", ""); !rbc.empty()) {
+    auto parsed = ba::parse_rbc_backend(rbc);
+    if (!parsed) {
+      std::cerr << "unknown --rbc backend: " << rbc << "\n";
+      return 2;
+    }
+    rbc_backends = {*parsed};
+  }
 
   bench::BenchJson json;
   json.context("bench", "sim_throughput");
@@ -442,6 +526,44 @@ int main(int argc, char** argv) {
       bench::BenchJson::field(row, "sig_memo_hits",
                               static_cast<double>(total.sig_memo_hits));
       t.add_row({w.name + suffix, std::to_string(n),
+                 std::to_string(total.deliveries),
+                 Table::count(static_cast<std::uint64_t>(dps)),
+                 std::to_string(apd).substr(0, 6),
+                 std::to_string(bpd).substr(0, 8)});
+    }
+  }
+
+  // Dissemination rows: 8 sources × 1KB payloads per run. Quadratic in n
+  // per source (echo/ready fan-out), so the grid is capped at 128.
+  for (ba::RbcBackend backend : rbc_backends) {
+    g_rbc_backend = backend;
+    const std::string wname =
+        std::string("rbc_") + ba::to_string(backend);
+    for (std::size_t n : grid) {
+      if (n > 128) continue;
+      RunStats total;
+      for (std::size_t rep = 0; rep < reps; ++rep)
+        total += run_rbc(n, seed + rep);
+      const double dps =
+          total.seconds > 0 ? total.deliveries / total.seconds : 0;
+      const double apd =
+          total.deliveries ? static_cast<double>(total.allocs) /
+                                 static_cast<double>(total.deliveries)
+                           : 0;
+      const double bpd =
+          total.deliveries ? static_cast<double>(total.bytes) /
+                                 static_cast<double>(total.deliveries)
+                           : 0;
+      bench::BenchJson::Row& row =
+          json.row(wname + "/n" + std::to_string(n) + suffix);
+      bench::BenchJson::field(row, "n", static_cast<double>(n));
+      bench::BenchJson::field(row, "deliveries",
+                              static_cast<double>(total.deliveries));
+      bench::BenchJson::field(row, "seconds", total.seconds);
+      bench::BenchJson::field(row, "deliveries_per_sec", dps);
+      bench::BenchJson::field(row, "allocs_per_delivery", apd);
+      bench::BenchJson::field(row, "bytes_per_delivery", bpd);
+      t.add_row({wname + suffix, std::to_string(n),
                  std::to_string(total.deliveries),
                  Table::count(static_cast<std::uint64_t>(dps)),
                  std::to_string(apd).substr(0, 6),

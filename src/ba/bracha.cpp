@@ -27,12 +27,13 @@ Bracha::StepState& Bracha::step_state(sim::Context& /*ctx*/, std::uint64_t r,
   if (it != steps_.end()) return it->second;
 
   StepState& st = steps_[key];
-  ReliableBroadcast::Config rcfg;
+  Broadcast::Config rcfg;
   rcfg.tag = cfg_.tag + "/" + std::to_string(r) + "/" + std::to_string(step);
   rcfg.n = cfg_.n;
   rcfg.f = cfg_.f;
-  st.rbc = std::make_unique<ReliableBroadcast>(
-      rcfg, [this, r, step](sim::ProcessId source, const Bytes& payload) {
+  st.rbc = make_broadcast(
+      cfg_.rbc, std::move(rcfg),
+      [this, r, step](sim::ProcessId source, const Bytes& payload) {
         std::uint8_t w;
         try {
           Reader reader(payload);
@@ -62,7 +63,7 @@ void Bracha::enter_step(sim::Context& ctx) {
     st.broadcast_done = true;
     Writer w;
     w.u8(x_);
-    st.rbc->broadcast(ctx, w.take(), 1);
+    st.rbc->broadcast(ctx, w.take());
   }
   check_progress(ctx);
 }
@@ -149,7 +150,7 @@ void Bracha::check_progress(sim::Context& ctx) {
       next.broadcast_done = true;
       Writer w;
       w.u8(x_);
-      next.rbc->broadcast(ctx, w.take(), 1);
+      next.rbc->broadcast(ctx, w.take());
     }
   }
 }

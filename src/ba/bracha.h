@@ -25,7 +25,7 @@
 #include <string>
 
 #include "ba/ba_process.h"
-#include "ba/rbc.h"
+#include "ba/broadcast.h"
 #include "ba/value.h"
 
 namespace coincidence::ba {
@@ -39,6 +39,8 @@ class Bracha final : public BaProcess {
     std::uint64_t max_rounds = 4096;
     /// Grace rounds after deciding (see ben_or.h).
     std::uint64_t extra_rounds = 2;
+    /// Dissemination backend for every step's broadcast (broadcast.h).
+    RbcBackend rbc = RbcBackend::kBracha;
   };
 
   Bracha(Config cfg, Value initial);
@@ -60,7 +62,7 @@ class Bracha final : public BaProcess {
   }
 
   struct StepState {
-    std::unique_ptr<ReliableBroadcast> rbc;
+    std::unique_ptr<Broadcast> rbc;
     std::map<sim::ProcessId, std::uint8_t> delivered;
     bool broadcast_done = false;
   };

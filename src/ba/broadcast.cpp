@@ -1,0 +1,38 @@
+#include "ba/broadcast.h"
+
+#include "ba/rbc.h"
+#include "ba/rbc_ec.h"
+#include "common/errors.h"
+
+namespace coincidence::ba {
+
+const char* to_string(RbcBackend backend) {
+  switch (backend) {
+    case RbcBackend::kBracha: return "bracha";
+    case RbcBackend::kEc: return "ec";
+  }
+  return "?";
+}
+
+std::optional<RbcBackend> parse_rbc_backend(std::string_view name) {
+  if (name == "bracha") return RbcBackend::kBracha;
+  if (name == "ec") return RbcBackend::kEc;
+  return std::nullopt;
+}
+
+std::unique_ptr<Broadcast> make_broadcast(RbcBackend backend,
+                                          Broadcast::Config cfg,
+                                          Broadcast::DeliverFn on_deliver) {
+  switch (backend) {
+    case RbcBackend::kBracha:
+      return std::make_unique<ReliableBroadcast>(std::move(cfg),
+                                                 std::move(on_deliver));
+    case RbcBackend::kEc:
+      return std::make_unique<EcBroadcast>(std::move(cfg),
+                                           std::move(on_deliver));
+  }
+  COIN_REQUIRE(false, "make_broadcast: unknown backend");
+  return nullptr;
+}
+
+}  // namespace coincidence::ba

@@ -11,10 +11,11 @@ namespace coincidence::ba {
 MultiValuedBa::MultiValuedBa(Config cfg, Bytes proposal)
     : cfg_(std::move(cfg)),
       proposal_(std::move(proposal)),
-      rbc_({cfg_.tag + "/rbc", cfg_.params.n, cfg_.params.f},
-           [this](sim::ProcessId src, const Bytes& payload) {
-             on_rbc_deliver(src, payload);
-           }),
+      rbc_(make_broadcast(cfg_.rbc,
+                          {cfg_.tag + "/rbc", cfg_.params.n, cfg_.params.f},
+                          [this](sim::ProcessId src, const Bytes& payload) {
+                            on_rbc_deliver(src, payload);
+                          })),
       delivered_(cfg_.params.n) {
   COIN_REQUIRE(cfg_.params.n > 0, "MultiValuedBa: params not initialised");
   const std::size_t n = cfg_.params.n;
@@ -39,9 +40,7 @@ std::size_t MultiValuedBa::effective_max() const {
 
 void MultiValuedBa::on_start(sim::Context& ctx) {
   ctx_ = &ctx;
-  // Paper word accounting: one header word plus the payload in 8-byte
-  // words (an empty proposal is still one word on the wire).
-  rbc_.broadcast(ctx, proposal_, 1 + (proposal_.size() + 7) / 8);
+  rbc_->broadcast(ctx, proposal_);
   pump(ctx);
 }
 
@@ -50,7 +49,7 @@ void MultiValuedBa::on_message(sim::Context& ctx, const sim::Message& msg) {
   // RBC and inner BAs keep running after a local decision: stragglers
   // still need our echoes/readies for totality and our grace-round BA
   // traffic (BaWhp halts itself after extra_rounds).
-  if (rbc_.handle(ctx, msg)) {
+  if (rbc_->handle(ctx, msg)) {
     // A delivery may have opened the activation gate (or completed an
     // awaited adoption — finish() fires from on_rbc_deliver directly).
     pump(ctx);
@@ -126,7 +125,7 @@ void MultiValuedBa::pump(sim::Context& ctx) {
     if (k >= effective_max()) {
       finish(ctx);  // every candidate rejected: no-op decision
     } else if (delivered_[rank_[k]].has_value() ||
-               rbc_.delivered_count() + cfg_.params.f >= cfg_.params.n) {
+               rbc_->delivered_count() + cfg_.params.f >= cfg_.params.n) {
       activation_due_ = false;
       activate_next(ctx);
       progress = true;

@@ -46,7 +46,7 @@
 
 #include "ba/ba_process.h"
 #include "ba/ba_whp.h"
-#include "ba/rbc.h"
+#include "ba/broadcast.h"
 #include "common/bytes.h"
 #include "sim/flat_map64.h"
 
@@ -72,6 +72,10 @@ class MultiValuedBa final : public BaProcess {
     /// Stop examining candidates after this many rejections and close
     /// with the no-op decision. 0 means all n proposers are eligible.
     std::size_t max_candidates = 0;
+    /// Dissemination backend for the proposal broadcasts (broadcast.h):
+    /// Bracha echoes the full value n² times, the erasure-coded backend
+    /// ships fragments + hashes. Identical delivery semantics.
+    RbcBackend rbc = RbcBackend::kBracha;
   };
 
   /// `proposal` is this process's value for the instance; it may be
@@ -103,7 +107,7 @@ class MultiValuedBa final : public BaProcess {
   /// Whitebox introspection for tests and session diagnostics.
   const std::vector<sim::ProcessId>& rank_order() const { return rank_; }
   std::size_t candidates_activated() const { return bas_.size(); }
-  std::size_t rbc_delivered_count() const { return rbc_.delivered_count(); }
+  std::size_t rbc_delivered_count() const { return rbc_->delivered_count(); }
   std::uint64_t rounds_skipped() const;
   std::uint64_t max_inner_round() const;
   const BaWhp* inner(std::size_t k) const {
@@ -131,7 +135,7 @@ class MultiValuedBa final : public BaProcess {
 
   Config cfg_;
   Bytes proposal_;
-  ReliableBroadcast rbc_;
+  std::unique_ptr<Broadcast> rbc_;
   // Deterministic candidate examination order: pids sorted by
   // sha256(tag || "/rank/" || pid), ties by pid.
   std::vector<sim::ProcessId> rank_;

@@ -1,5 +1,7 @@
 #include "ba/rbc.h"
 
+#include <utility>
+
 #include "common/errors.h"
 #include "common/ser.h"
 
@@ -10,32 +12,59 @@ ReliableBroadcast::ReliableBroadcast(Config cfg, DeliverFn on_deliver)
       on_deliver_(std::move(on_deliver)),
       tag_initial_(cfg_.tag + "/initial"),
       tag_echo_(cfg_.tag + "/echo"),
-      tag_ready_(cfg_.tag + "/ready") {
+      tag_ready_(cfg_.tag + "/ready"),
+      delivered_(cfg_.n, false) {
   COIN_REQUIRE(cfg_.n > 3 * cfg_.f, "ReliableBroadcast: requires n > 3f");
 }
 
-void ReliableBroadcast::broadcast(sim::Context& ctx, Bytes payload,
-                                  std::size_t words) {
-  payload_words_ = words;
+std::uint64_t ReliableBroadcast::flow_key(sim::ProcessId source,
+                                          const crypto::Digest& digest) {
+  std::uint64_t fold = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    fold = (fold << 8) | digest[i];
+  // FlatMap64 avalanches the key itself; mixing the source in with a
+  // multiply keeps (source, digest) pairs distinct under the fold.
+  return fold ^ (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull);
+}
+
+ReliableBroadcast::Flow& ReliableBroadcast::flow_of(
+    sim::ProcessId source, const crypto::Digest& digest) {
+  std::vector<Flow>& bucket = flows_[flow_key(source, digest)];
+  for (Flow& flow : bucket)
+    if (flow.source == source && flow.digest == digest) return flow;
+  Flow& flow = bucket.emplace_back();
+  flow.source = source;
+  flow.digest = digest;
+  return flow;
+}
+
+void ReliableBroadcast::broadcast(sim::Context& ctx, Bytes payload) {
+  const std::size_t words = value_words(payload.size());
   ctx.broadcast(tag_initial_, std::move(payload), words);
 }
 
-void ReliableBroadcast::maybe_send_ready(sim::Context& ctx,
-                                         const FlowKey& key) {
-  if (ready_sent_.count(key)) return;
-  ready_sent_.insert(key);
+void ReliableBroadcast::maybe_send_ready(sim::Context& ctx, Flow& flow) {
+  if (flow.ready_sent) return;
+  flow.ready_sent = true;
   Writer w;
-  w.u32(key.source).blob(key.payload);
-  ctx.broadcast(tag_ready_, w.take(), payload_words_ + 1);
+  w.u32(flow.source);
+  w.blob(BytesView(flow.digest.data(), flow.digest.size()));
+  ctx.broadcast(tag_ready_, w.take(), 1 + kDigestWords);
 }
 
-void ReliableBroadcast::maybe_deliver(sim::Context& ctx, const FlowKey& key) {
-  if (delivered_.count(key.source)) return;  // one delivery per source
-  delivered_.insert(key.source);
+void ReliableBroadcast::maybe_deliver(sim::Context& ctx, Flow& flow) {
+  if (delivered_[flow.source]) return;  // one delivery per source
+  if (flow.readies.size() < 2 * cfg_.f + 1) return;
+  // Readies identify the value only by digest; the payload itself rides
+  // in the echoes, and >(n−f)/2 ≥ f+1 correct processes echoed it to
+  // everyone before any correct ready fired — it is en route.
+  if (!flow.payload.has_value()) return;
+  delivered_[flow.source] = true;
+  ++delivered_count_;
   // RBC's output event: the delivered flow's source stands in for the
   // (binary) decision value of the BA protocols.
-  ctx.note_decide(cfg_.tag, static_cast<int>(key.source), 0);
-  if (on_deliver_) on_deliver_(key.source, key.payload);
+  ctx.note_decide(cfg_.tag, static_cast<int>(flow.source), 0);
+  if (on_deliver_) on_deliver_(flow.source, *flow.payload);
 }
 
 bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
@@ -45,7 +74,8 @@ bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
     if (echoed_sources_.insert(msg.from).second) {
       Writer w;
       w.u32(msg.from).blob(msg.payload);
-      ctx.broadcast(tag_echo_, w.take(), payload_words_ + 1);
+      ctx.broadcast(tag_echo_, w.take(),
+                    value_words(msg.payload.size()) + 1);
     }
     return true;
   }
@@ -54,26 +84,37 @@ bool ReliableBroadcast::handle(sim::Context& ctx, const sim::Message& msg) {
   bool is_ready = msg.tag == tag_ready_;
   if (!is_echo && !is_ready) return false;
 
-  FlowKey key;
+  sim::ProcessId source = 0;
+  Bytes payload;
+  crypto::Digest digest{};
   try {
     Reader r(msg.payload);
-    key.source = r.u32();
-    key.payload = r.blob();
+    source = r.u32();
+    if (is_echo) {
+      payload = r.blob();
+      digest = crypto::sha256(payload);
+    } else {
+      const Bytes d = r.blob();
+      if (d.size() != digest.size()) return true;
+      std::copy(d.begin(), d.end(), digest.begin());
+    }
     r.done();
   } catch (const CodecError&) {
     return true;
   }
-  if (key.source >= cfg_.n) return true;
+  if (source >= cfg_.n) return true;
 
-  Flow& flow = flows_[key];
+  Flow& flow = flow_of(source, digest);
   if (is_echo) {
     if (!flow.echoes.insert(msg.from).second) return true;
+    if (!flow.payload.has_value()) flow.payload = std::move(payload);
     if (2 * flow.echoes.size() > cfg_.n + cfg_.f)
-      maybe_send_ready(ctx, key);
+      maybe_send_ready(ctx, flow);
+    maybe_deliver(ctx, flow);  // a ready quorum may already be waiting
   } else {
     if (!flow.readies.insert(msg.from).second) return true;
-    if (flow.readies.size() >= cfg_.f + 1) maybe_send_ready(ctx, key);
-    if (flow.readies.size() >= 2 * cfg_.f + 1) maybe_deliver(ctx, key);
+    if (flow.readies.size() >= cfg_.f + 1) maybe_send_ready(ctx, flow);
+    maybe_deliver(ctx, flow);
   }
   return true;
 }

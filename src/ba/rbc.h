@@ -3,70 +3,75 @@
 //
 //   source:            broadcast <initial, m>
 //   on <initial, m>:   broadcast <echo, src, m>          (once per source)
-//   on <echo, src, m>  from > (n+f)/2 distinct: broadcast <ready, src, m>
-//   on <ready, src, m> from f+1 distinct:       broadcast <ready, src, m>
-//   on <ready, src, m> from 2f+1 distinct:      deliver (src, m)
+//   on <echo, src, m>  from > (n+f)/2 distinct: broadcast <ready, src, H(m)>
+//   on <ready, src, h> from f+1 distinct:       broadcast <ready, src, h>
+//   on <ready, src, h> from 2f+1 distinct:      deliver (src, m)
 //
 // Guarantees: if the source is correct everyone delivers its m; if any
 // correct process delivers (src, m), every correct process delivers
 // (src, m) and nobody delivers (src, m') with m' != m. Used as the
 // broadcast layer of the Bracha BA baseline and independently tested.
+//
+// ISSUE 10 satellite: READY carries the λ-word sha256 digest of the
+// payload instead of re-shipping it (the payload still travels in every
+// ECHO, which is what makes this backend O(n²·|v|) — rbc_ec.h is the
+// coded alternative), and flows are tallied in a FlatMap64 keyed by a
+// 64-bit fold of (source, digest) instead of a std::map that copied the
+// whole payload into its keys. Delivery waits for both the 2f+1 ready
+// quorum and a payload-bearing echo: readies alone no longer identify
+// the value. Word ledger, exact: initial = 1+⌈|m|/8⌉, echo = initial+1
+// (source word), ready = 1+λ.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <optional>
 #include <set>
-#include <string>
+#include <vector>
 
+#include "ba/broadcast.h"
 #include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "sim/flat_map64.h"
 #include "sim/process.h"
 
 namespace coincidence::ba {
 
-class ReliableBroadcast {
+class ReliableBroadcast final : public Broadcast {
  public:
-  struct Config {
-    std::string tag;  // instance namespace; one broadcast per source in it
-    std::size_t n = 0;
-    std::size_t f = 0;
-  };
-
-  /// Fires exactly once per source whose broadcast gets delivered.
-  using DeliverFn =
-      std::function<void(sim::ProcessId source, const Bytes& payload)>;
+  using Config = Broadcast::Config;
 
   ReliableBroadcast(Config cfg, DeliverFn on_deliver);
 
-  /// Broadcasts this process's message for the instance. `words` is the
-  /// paper word count of the payload.
-  void broadcast(sim::Context& ctx, Bytes payload, std::size_t words);
+  void broadcast(sim::Context& ctx, Bytes payload) override;
+  bool handle(sim::Context& ctx, const sim::Message& msg) override;
 
-  bool handle(sim::Context& ctx, const sim::Message& msg);
-
-  bool delivered(sim::ProcessId source) const {
-    return delivered_.count(source) > 0;
+  bool delivered(sim::ProcessId source) const override {
+    return source < delivered_.size() && delivered_[source];
   }
-  std::size_t delivered_count() const { return delivered_.size(); }
+  std::size_t delivered_count() const override { return delivered_count_; }
 
  private:
-  // Per (source, payload) echo/ready tallies. Byzantine sources may
-  // equivocate, producing several live keys for one source; the delivery
-  // guard ensures at most one wins.
-  struct FlowKey {
-    sim::ProcessId source;
-    Bytes payload;
-    bool operator<(const FlowKey& o) const {
-      return source != o.source ? source < o.source : payload < o.payload;
-    }
-  };
+  // Per (source, payload-digest) echo/ready tallies. Byzantine sources
+  // may equivocate, producing several live flows for one source; the
+  // delivery guard ensures at most one wins. Flows bucket under a 64-bit
+  // key fold; the full digest disambiguates fold collisions.
   struct Flow {
+    sim::ProcessId source = 0;
+    crypto::Digest digest{};
+    // Learned from the first payload-bearing echo (readies only carry
+    // the digest). Delivery waits for it.
+    std::optional<Bytes> payload;
     std::set<sim::ProcessId> echoes;
     std::set<sim::ProcessId> readies;
+    bool ready_sent = false;
   };
 
-  void maybe_send_ready(sim::Context& ctx, const FlowKey& key);
-  void maybe_deliver(sim::Context& ctx, const FlowKey& key);
+  static std::uint64_t flow_key(sim::ProcessId source,
+                                const crypto::Digest& digest);
+  Flow& flow_of(sim::ProcessId source, const crypto::Digest& digest);
+
+  void maybe_send_ready(sim::Context& ctx, Flow& flow);
+  void maybe_deliver(sim::Context& ctx, Flow& flow);
 
   Config cfg_;
   DeliverFn on_deliver_;
@@ -74,12 +79,11 @@ class ReliableBroadcast {
   sim::Tag tag_initial_;
   sim::Tag tag_echo_;
   sim::Tag tag_ready_;
-  std::size_t payload_words_ = 1;
 
-  std::map<FlowKey, Flow> flows_;
+  sim::FlatMap64<std::vector<Flow>> flows_;
   std::set<sim::ProcessId> echoed_sources_;  // echo once per source
-  std::set<FlowKey> ready_sent_;
-  std::set<sim::ProcessId> delivered_;
+  std::vector<bool> delivered_;
+  std::size_t delivered_count_ = 0;
 };
 
 }  // namespace coincidence::ba

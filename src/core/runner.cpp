@@ -227,6 +227,7 @@ RunReport run_agreement(const RunOptions& options,
         cfg.n = options.n;
         cfg.f = f;
         cfg.max_rounds = options.max_rounds;
+        cfg.rbc = options.rbc;
         return std::make_unique<ba::Bracha>(cfg, input);
       }
       case Protocol::kMmrSharedCoin: {
@@ -420,6 +421,11 @@ RunReport run_agreement(const RunOptions& options,
     report.sig_verify_sigs = sim.metrics().sig_verify_sigs();
     report.sig_verify_rejects = sim.metrics().sig_verify_rejects();
     report.sig_verify_memo_hits = sim.metrics().sig_verify_memo_hits();
+    report.rbc_encodes = sim.metrics().rbc_encodes();
+    report.rbc_fragments_encoded = sim.metrics().rbc_fragments_encoded();
+    report.rbc_decodes = sim.metrics().rbc_decodes();
+    report.rbc_fragments_decoded = sim.metrics().rbc_fragments_decoded();
+    report.rbc_decode_failures = sim.metrics().rbc_decode_failures();
     report.corrupted = sim.corrupted_count();
     report.partition_held = sim.metrics().partition_held();
     report.partition_dropped = sim.metrics().partition_dropped();

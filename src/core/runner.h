@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ba/broadcast.h"
 #include "ba/value.h"
 #include "core/env.h"
 #include "sim/chaos.h"
@@ -109,6 +110,11 @@ struct RunOptions {
 
   std::uint64_t max_rounds = 64;
 
+  /// Reliable-broadcast backend for the protocols that disseminate over
+  /// RBC (kBracha today): classic full-value echoes or erasure-coded
+  /// AVID-M fragments (ba/broadcast.h). Ignored by the others.
+  ba::RbcBackend rbc = ba::RbcBackend::kBracha;
+
   /// Sharded superstep engine (SimConfig::shards): 0 = the legacy
   /// sequential loop; k >= 1 partitions delivery across k shards with a
   /// hash-addressed schedule that is bit-identical for every shard and
@@ -184,6 +190,15 @@ struct RunReport {
   std::uint64_t sig_verify_memo_hits = 0;
   std::uint64_t sig_checks = 0;
   std::uint64_t sig_memo_hits = 0;
+  // Erasure-coded dissemination accounting (zero on the Bracha backend):
+  // encodes fire at the source and at the deliver-time re-encode
+  // consistency check; a decode failure marks a poisoned (inconsistently
+  // dispersed) broadcast that no correct process will ever deliver.
+  std::uint64_t rbc_encodes = 0;
+  std::uint64_t rbc_fragments_encoded = 0;
+  std::uint64_t rbc_decodes = 0;
+  std::uint64_t rbc_fragments_decoded = 0;
+  std::uint64_t rbc_decode_failures = 0;
   // BatchVerifier queue ledger, read after every coin has retired. The
   // conservation law verify_enqueued == verify_batch_flushed +
   // verify_discarded must hold for every run — crash-recovery must

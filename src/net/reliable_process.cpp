@@ -61,6 +61,12 @@ class ReliableProcess::ChannelContext final : public sim::Context {
                              std::size_t memo_hits) override {
     outer().note_sig_verify_batch(sigs, rejects, memo_hits);
   }
+  void note_rbc_encode(std::size_t fragments) override {
+    outer().note_rbc_encode(fragments);
+  }
+  void note_rbc_decode(bool ok, std::size_t fragments) override {
+    outer().note_rbc_decode(ok, fragments);
+  }
 
  private:
   sim::Context& outer() const {

@@ -44,6 +44,7 @@ LogReport run_replicated_log(const core::Env& env,
   lcfg.max_rounds = opts.max_rounds;
   lcfg.max_candidates = opts.max_candidates;
   lcfg.client_seed = opts.client_seed;
+  lcfg.rbc = opts.rbc;
   lcfg.skip_timeout = opts.skip_timeout == LogRunOptions::kAutoSkip
                           ? auto_skip_timeout(n, opts.pipeline_depth)
                           : opts.skip_timeout;

@@ -36,6 +36,9 @@ struct LogRunOptions {
   std::uint64_t max_rounds = 32;
   std::size_t max_candidates = 8;
   std::uint64_t client_seed = 0xC11E57;
+
+  /// Proposal-dissemination backend for every slot (ba/broadcast.h).
+  ba::RbcBackend rbc = ba::RbcBackend::kBracha;
 };
 
 struct LogReport {

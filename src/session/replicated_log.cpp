@@ -110,6 +110,7 @@ void LogProcess::activate_slot(sim::Context& ctx) {
   mcfg.skip_timeout = cfg_.skip_timeout;
   mcfg.skip_max_attempts = cfg_.skip_max_attempts;
   mcfg.max_candidates = cfg_.max_candidates;
+  mcfg.rbc = cfg_.rbc;
   slots_.push_back(std::make_unique<ba::MultiValuedBa>(
       std::move(mcfg), batch_for(self_, k)));
   slot_done_.push_back(false);

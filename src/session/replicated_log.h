@@ -60,6 +60,9 @@ struct LogConfig {
   std::uint64_t skip_timeout = 0;
   std::uint32_t skip_max_attempts = 8;
   std::size_t max_candidates = 8;
+  /// Dissemination backend for every slot's proposal broadcasts
+  /// (ba/broadcast.h): Bracha or erasure-coded AVID-M.
+  ba::RbcBackend rbc = ba::RbcBackend::kBracha;
 
   /// Seed of the simulated client-request stream.
   std::uint64_t client_seed = 0xC11E57;

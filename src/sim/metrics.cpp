@@ -224,6 +224,11 @@ void Metrics::to_json(std::ostream& os) const {
      << ",\"sig_verify_sigs\":" << sig_verify_sigs_
      << ",\"sig_verify_rejects\":" << sig_verify_rejects_
      << ",\"sig_verify_memo_hits\":" << sig_verify_memo_hits_
+     << ",\"rbc_encodes\":" << rbc_encodes_
+     << ",\"rbc_fragments_encoded\":" << rbc_fragments_encoded_
+     << ",\"rbc_decodes\":" << rbc_decodes_
+     << ",\"rbc_fragments_decoded\":" << rbc_fragments_decoded_
+     << ",\"rbc_decode_failures\":" << rbc_decode_failures_
      << ",\"partition_held\":" << partition_held_
      << ",\"partition_held_words\":" << partition_held_words_
      << ",\"partition_dropped\":" << partition_dropped_
@@ -317,6 +322,19 @@ void Metrics::to_prometheus(std::ostream& os) const {
      << "# TYPE coincidence_sig_verify_memo_hits_total counter\n"
      << "coincidence_sig_verify_memo_hits_total " << sig_verify_memo_hits_
      << '\n'
+     << "# TYPE coincidence_rbc_encodes_total counter\n"
+     << "coincidence_rbc_encodes_total " << rbc_encodes_ << '\n'
+     << "# TYPE coincidence_rbc_fragments_encoded_total counter\n"
+     << "coincidence_rbc_fragments_encoded_total " << rbc_fragments_encoded_
+     << '\n'
+     << "# TYPE coincidence_rbc_decodes_total counter\n"
+     << "coincidence_rbc_decodes_total " << rbc_decodes_ << '\n'
+     << "# TYPE coincidence_rbc_fragments_decoded_total counter\n"
+     << "coincidence_rbc_fragments_decoded_total " << rbc_fragments_decoded_
+     << '\n'
+     << "# TYPE coincidence_rbc_decode_failures_total counter\n"
+     << "coincidence_rbc_decode_failures_total " << rbc_decode_failures_
+     << '\n'
      << "# TYPE coincidence_partition_held_total counter\n"
      << "coincidence_partition_held_total " << partition_held_ << '\n'
      << "# TYPE coincidence_partition_dropped_total counter\n"
@@ -368,6 +386,11 @@ void Metrics::reset() {
   sig_verify_sigs_ = 0;
   sig_verify_rejects_ = 0;
   sig_verify_memo_hits_ = 0;
+  rbc_encodes_ = 0;
+  rbc_fragments_encoded_ = 0;
+  rbc_decodes_ = 0;
+  rbc_fragments_decoded_ = 0;
+  rbc_decode_failures_ = 0;
   partition_held_ = 0;
   partition_held_words_ = 0;
   partition_dropped_ = 0;

@@ -132,6 +132,24 @@ class Metrics {
     sig_verify_memo_hits_ += memo_hits;
   }
 
+  /// An erasure-coding pass produced `fragments` coded fragments
+  /// (Context::note_rbc_encode; fires for source encodes and for the
+  /// deliver-time re-encode consistency check). Always on — coding work
+  /// is part of the dissemination bill.
+  void record_rbc_encode(std::size_t fragments) {
+    ++rbc_encodes_;
+    rbc_fragments_encoded_ += fragments;
+  }
+
+  /// A decode attempt from `fragments` proof-valid fragments
+  /// (Context::note_rbc_decode). Failures mark an inconsistently-
+  /// dispersed (poisoned) broadcast — accounted, never invisible.
+  void record_rbc_decode(bool ok, std::size_t fragments) {
+    ++rbc_decodes_;
+    rbc_fragments_decoded_ += fragments;
+    if (!ok) ++rbc_decode_failures_;
+  }
+
   /// Switches on per-tag histogram recording (words/depth/latency).
   void enable_detail() { detail_ = true; }
   bool detail_enabled() const { return detail_; }
@@ -181,6 +199,12 @@ class Metrics {
   std::uint64_t sig_verify_sigs() const { return sig_verify_sigs_; }
   std::uint64_t sig_verify_rejects() const { return sig_verify_rejects_; }
   std::uint64_t sig_verify_memo_hits() const { return sig_verify_memo_hits_; }
+  // Erasure-coded dissemination accounting (ba/rbc_ec.h).
+  std::uint64_t rbc_encodes() const { return rbc_encodes_; }
+  std::uint64_t rbc_fragments_encoded() const { return rbc_fragments_encoded_; }
+  std::uint64_t rbc_decodes() const { return rbc_decodes_; }
+  std::uint64_t rbc_fragments_decoded() const { return rbc_fragments_decoded_; }
+  std::uint64_t rbc_decode_failures() const { return rbc_decode_failures_; }
 
   /// Rounds-to-decide histogram over note_decide events from correct
   /// processes (one entry per decision point, sub-protocols included).
@@ -242,6 +266,11 @@ class Metrics {
   std::uint64_t sig_verify_sigs_ = 0;
   std::uint64_t sig_verify_rejects_ = 0;
   std::uint64_t sig_verify_memo_hits_ = 0;
+  std::uint64_t rbc_encodes_ = 0;
+  std::uint64_t rbc_fragments_encoded_ = 0;
+  std::uint64_t rbc_decodes_ = 0;
+  std::uint64_t rbc_fragments_decoded_ = 0;
+  std::uint64_t rbc_decode_failures_ = 0;
   std::uint64_t partition_held_ = 0;
   std::uint64_t partition_held_words_ = 0;
   std::uint64_t partition_dropped_ = 0;

@@ -115,6 +115,19 @@ class Context {
     (void)rejects;
     (void)memo_hits;
   }
+
+  /// This process Reed–Solomon-encoded a value into `fragments` coded
+  /// fragments (erasure-coded broadcast: source dispersal or the
+  /// pre-delivery re-encode consistency check).
+  virtual void note_rbc_encode(std::size_t fragments) { (void)fragments; }
+
+  /// This process attempted an erasure decode from `fragments` collected
+  /// fragments; `ok` is false when the dispersal failed the consistency
+  /// check (Byzantine source) and the flow was discarded.
+  virtual void note_rbc_decode(bool ok, std::size_t fragments) {
+    (void)ok;
+    (void)fragments;
+  }
 };
 
 class Process {

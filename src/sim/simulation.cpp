@@ -38,6 +38,8 @@ struct Simulation::PendingEffect {
     kDeadLetter,
     kVerifyBatch,
     kSigVerifyBatch,
+    kRbcEncode,
+    kRbcDecode,
   };
   Kind kind = Kind::kSend;
   bool retransmit = false;
@@ -48,7 +50,8 @@ struct Simulation::PendingEffect {
   SharedBytes payload;
   // kSend: a=words b=causal_depth; kWakeup: a=delay; kDecide: a=round
   // b=value c=depth; kRound: a=round; kDeadLetter: a=words; k*Verify:
-  // a=count b=rejects c=memo_hits.
+  // a=count b=rejects c=memo_hits; kRbcEncode: a=fragments; kRbcDecode:
+  // a=fragments b=ok.
   std::uint64_t a = 0, b = 0, c = 0;
 };
 
@@ -227,6 +230,24 @@ class Simulation::SlotContext final : public Context {
       return;
     }
     sim_->note_sig_verify_batch_from(id_, sigs, rejects, memo_hits);
+  }
+
+  void note_rbc_encode(std::size_t fragments) override {
+    if (sim_->parallel_phase_) {
+      buffered_effect(PendingEffect::Kind::kRbcEncode).a = fragments;
+      return;
+    }
+    sim_->note_rbc_encode_from(id_, fragments);
+  }
+
+  void note_rbc_decode(bool ok, std::size_t fragments) override {
+    if (sim_->parallel_phase_) {
+      PendingEffect& e = buffered_effect(PendingEffect::Kind::kRbcDecode);
+      e.a = fragments;
+      e.b = ok ? 1 : 0;
+      return;
+    }
+    sim_->note_rbc_decode_from(id_, ok, fragments);
   }
 
  private:
@@ -621,6 +642,16 @@ void Simulation::note_sig_verify_batch_from(ProcessId /*who*/,
                                             std::size_t rejects,
                                             std::size_t memo_hits) {
   metrics_.record_sig_verify_batch(sigs, rejects, memo_hits);
+}
+
+void Simulation::note_rbc_encode_from(ProcessId /*who*/,
+                                      std::size_t fragments) {
+  metrics_.record_rbc_encode(fragments);
+}
+
+void Simulation::note_rbc_decode_from(ProcessId /*who*/, bool ok,
+                                      std::size_t fragments) {
+  metrics_.record_rbc_decode(ok, fragments);
 }
 
 // ----------------------------------------------------- timers/recovery --
@@ -1061,6 +1092,12 @@ void Simulation::commit_activation(CalEntry& act) {
         metrics_.record_sig_verify_batch(static_cast<std::size_t>(e.a),
                                          static_cast<std::size_t>(e.b),
                                          static_cast<std::size_t>(e.c));
+        break;
+      case PendingEffect::Kind::kRbcEncode:
+        metrics_.record_rbc_encode(static_cast<std::size_t>(e.a));
+        break;
+      case PendingEffect::Kind::kRbcDecode:
+        metrics_.record_rbc_decode(e.b != 0, static_cast<std::size_t>(e.a));
         break;
     }
   }

@@ -230,6 +230,8 @@ class Simulation {
                              std::size_t words);
   void note_verify_batch_from(ProcessId who, std::size_t shares,
                               std::size_t rejects, std::size_t memo_hits);
+  void note_rbc_encode_from(ProcessId who, std::size_t fragments);
+  void note_rbc_decode_from(ProcessId who, bool ok, std::size_t fragments);
   void note_sig_verify_batch_from(ProcessId who, std::size_t sigs,
                                   std::size_t rejects, std::size_t memo_hits);
 

@@ -4,6 +4,7 @@
 
 #include "common/errors.h"
 #include "common/ser.h"
+#include "crypto/sha256.h"
 #include "sim/simulation.h"
 
 namespace coincidence::ba {
@@ -19,7 +20,7 @@ class RbcHost final : public sim::Process {
         to_send_(std::move(to_send)) {}
 
   void on_start(sim::Context& ctx) override {
-    if (to_send_) rbc_.broadcast(ctx, *to_send_, 1);
+    if (to_send_) rbc_.broadcast(ctx, *to_send_);
   }
   void on_message(sim::Context& ctx, const sim::Message& msg) override {
     rbc_.handle(ctx, msg);
@@ -139,11 +140,14 @@ TEST(Rbc, ForgedReadyQuorumCannotFakeDelivery) {
   sim.corrupt(5, sim::FaultPlan::silent());
   sim.corrupt(6, sim::FaultPlan::silent());
   sim.start();
+  // READY now carries (source, digest): forge a well-formed one for a
+  // payload nobody echoed.
+  const crypto::Digest d = crypto::sha256(bytes_of("forged"));
   Writer w;
-  w.u32(0).blob(bytes_of("forged"));
+  w.u32(0).blob(BytesView(d.data(), d.size()));
   for (sim::ProcessId from : {5, 6})
     for (sim::ProcessId to = 0; to < 5; ++to)
-      sim.inject(from, to, "rbc/ready", w.bytes(), 2);
+      sim.inject(from, to, "rbc/ready", w.bytes(), 5);
   sim.run();
   for (sim::ProcessId i = 0; i < 5; ++i) {
     auto& host = dynamic_cast<RbcHost&>(sim.process(i));

@@ -1,0 +1,89 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/errors.h"
+
+namespace coincidence::crypto {
+namespace {
+
+std::vector<Bytes> make_leaves(std::size_t count) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < count; ++i)
+    leaves.push_back(bytes_of("leaf-" + std::to_string(i)));
+  return leaves;
+}
+
+TEST(Merkle, BranchVerifiesForEveryLeafAndCount) {
+  // Odd widths exercise the promotion schedule at every level.
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 48u, 255u}) {
+    const auto leaves = make_leaves(count);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto branch = tree.branch(i);
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), count, i, leaves[i],
+                                     branch))
+          << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(Merkle, SingleLeafTreeHasEmptyBranch) {
+  MerkleTree tree({bytes_of("only")});
+  EXPECT_TRUE(tree.branch(0).empty());
+  EXPECT_EQ(tree.root(), merkle_leaf(bytes_of("only")));
+}
+
+TEST(Merkle, TamperedLeafOrBranchRejected) {
+  const auto leaves = make_leaves(7);
+  MerkleTree tree(leaves);
+  const auto branch = tree.branch(3);
+
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 7, 3, bytes_of("evil"), branch));
+  // Wrong position for a correct leaf.
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 7, 2, leaves[3], branch));
+  // Flipped digest inside the path.
+  auto bad = branch;
+  bad[1][0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 7, 3, leaves[3], bad));
+  // Truncated and padded paths.
+  auto short_branch = branch;
+  short_branch.pop_back();
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 7, 3, leaves[3], short_branch));
+  auto long_branch = branch;
+  long_branch.push_back(Digest{});
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 7, 3, leaves[3], long_branch));
+  // Out-of-range index and zero count.
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 7, 7, leaves[3], branch));
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 0, 0, leaves[3], branch));
+}
+
+TEST(Merkle, LeafNodeDomainsAreSeparated) {
+  // A two-leaf tree's root must not equal the leaf hash of the
+  // concatenated children — 0x00/0x01 prefixes keep the domains apart.
+  const auto leaves = make_leaves(2);
+  MerkleTree tree(leaves);
+  Bytes cat;
+  const Digest l0 = merkle_leaf(leaves[0]);
+  const Digest l1 = merkle_leaf(leaves[1]);
+  append(cat, BytesView(l0.data(), l0.size()));
+  append(cat, BytesView(l1.data(), l1.size()));
+  EXPECT_NE(tree.root(), merkle_leaf(cat));
+}
+
+TEST(Merkle, DistinctLeafSetsGetDistinctRoots) {
+  MerkleTree a(make_leaves(5));
+  auto mutated = make_leaves(5);
+  mutated[4] = bytes_of("leaf-4!");
+  MerkleTree b(mutated);
+  EXPECT_NE(a.root(), b.root());
+  EXPECT_THROW(a.branch(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace coincidence::crypto

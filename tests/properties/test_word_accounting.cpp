@@ -111,9 +111,11 @@ TEST(WordAccounting, BaselinesMatchPublishedSchedules) {
   const std::vector<Case> cases = {
       // Ben-Or: every message carries one finite-domain value.
       {core::Protocol::kBenOr, 11, {{"R", 1}, {"P", 1}}},
-      // Bracha over RBC: initial carries the value; echo/ready add the
-      // source id on top of the payload word.
-      {core::Protocol::kBracha, 10, {{"initial", 1}, {"echo", 2}, {"ready", 2}}},
+      // Bracha over RBC: initial carries the length-prefixed value
+      // (1 word + 1 byte-word for the 1-byte BA payload); echo adds the
+      // source id; ready ships source + the λ-word sha256 digest instead
+      // of the payload.
+      {core::Protocol::kBracha, 10, {{"initial", 2}, {"echo", 3}, {"ready", 5}}},
       // MMR + Algorithm-1 coin: bval/aux one value; coin = value + proof.
       {core::Protocol::kMmrSharedCoin, 13,
        {{"bval", 1}, {"aux", 1}, {"first", 2}, {"second", 2}}},
@@ -197,6 +199,46 @@ TEST(WordAccounting, BaselinesMatchPublishedSchedules) {
         << core::protocol_name(c.protocol) << ": "
         << *auditor->unknown_kinds().begin();
   }
+}
+
+TEST(WordAccounting, BrachaEcRbcMatchesPublishedSchedule) {
+  // The erasure-coded dissemination backend, audited at n=8 (a perfect
+  // Merkle tree, so every branch is exactly log2(8) = 3 digests):
+  //   initial = size word + ⌈⌈|v|/k⌉/8⌉ fragment words + λ·3 branch words
+  //   echo    = source word + λ root words + fragment + λ·3 branch words
+  //   ready   = source word + λ composite-digest words.
+  // The 1-byte BA payload at k = f+1 = 3 gives 1-byte fragments.
+  const std::size_t n = 8, f = 2;
+  auto auditor =
+      std::make_shared<WordAuditor>(std::map<std::string, std::size_t>{
+          {"initial", 1 + 1 + 4 * 3},
+          {"echo", 1 + 4 + 1 + 4 * 3},
+          {"ready", 1 + 4},
+      });
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.seed = 6;
+  sim::Simulation sim(cfg);
+  sim.add_observer(auditor);
+  for (crypto::ProcessId i = 0; i < n; ++i) {
+    ba::Bracha::Config bc;
+    bc.n = n;
+    bc.f = f;
+    bc.rbc = ba::RbcBackend::kEc;
+    sim.add_process(
+        std::make_unique<ba::Bracha>(bc, i % 2 ? ba::kOne : ba::kZero));
+  }
+  sim.start();
+  sim.run_until([&] {
+    for (crypto::ProcessId i = 0; i < n; ++i)
+      if (!dynamic_cast<ba::BaProcess&>(sim.process(i)).decided())
+        return false;
+    return true;
+  });
+  EXPECT_GT(auditor->audited(), 50u);
+  EXPECT_TRUE(auditor->mismatches().empty()) << auditor->mismatches().front();
+  EXPECT_TRUE(auditor->unknown_kinds().empty())
+      << *auditor->unknown_kinds().begin();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 //                [--ones k] [--crash c --silent s --junk j
 //                 --crash-recover r --recover-after 5000]
 //                [--adversary random|fifo|delay-senders|split|heavy-tail]
+//                [--rbc bracha|ec]
 //                [--drop p --dup p --replay p] [--reliable-channel]
 //                [--epsilon 0.25 --d 0.02] [--max-rounds 64]
 //                [--top 10] [--samples 1] [--threads 0]
@@ -180,6 +181,13 @@ int main(int argc, char** argv) {
   o.inputs.assign(o.n, ba::kZero);
   for (std::size_t i = 0; i < ones && i < o.n; ++i) o.inputs[i] = ba::kOne;
 
+  // Reliable-broadcast backend for the RBC-based protocols (kBracha):
+  // Bracha full-value echoes or erasure-coded AVID-M fragments.
+  const std::string rbc_name = args.get("rbc", "bracha");
+  const auto rbc = ba::parse_rbc_backend(rbc_name);
+  if (!rbc) return fail("unknown --rbc " + rbc_name);
+  o.rbc = *rbc;
+
   const std::string adv = args.get("adversary", "random");
   if (adv == "fifo") o.adversary = core::AdversaryKind::kFifo;
   else if (adv == "delay-senders")
@@ -234,6 +242,7 @@ int main(int argc, char** argv) {
 
   std::cout << "run_report — " << core::protocol_name(o.protocol)
             << "  n=" << o.n << "  seed=" << o.seed << "  adversary=" << adv
+            << "  rbc=" << ba::to_string(o.rbc)
             << "\n  faults: crash=" << o.crash << " silent=" << o.silent
             << " junk=" << o.junk << " crash-recover=" << o.crash_recover
             << "  (f=" << r.protocol_f << ")\n\n";
@@ -310,6 +319,16 @@ int main(int argc, char** argv) {
                     static_cast<double>(r.sig_checks))
                 << "%";
     std::cout << ")\n";
+  }
+  // Erasure-coding work is compute too: fragments already paid their
+  // wire words in the initial/echo rows, so the dissemination row stays
+  // at zero words and only surfaces the codec pipeline.
+  if (r.rbc_encodes + r.rbc_decodes > 0) {
+    std::cout << "  rbc-code" << std::string(widest > 8 ? widest - 8 + 2 : 2, ' ')
+              << 0 << "   (" << r.rbc_encodes << " encodes / "
+              << r.rbc_fragments_encoded << " fragments, " << r.rbc_decodes
+              << " decodes / " << r.rbc_fragments_decoded << " fragments, "
+              << r.rbc_decode_failures << " poisoned)\n";
   }
   std::cout << "  total " << phase_total
             << (phase_total == r.correct_words
